@@ -1,0 +1,83 @@
+// udfasm assembles, verifies and disassembles UDF template programs —
+// the pseudo-RISC language libFSes use to describe their metadata to
+// XN (Section 4.1).
+//
+// Usage:
+//
+//	udfasm [-det] [-run] [-meta hexbytes] file.udf   (or stdin with -)
+//
+// Flags:
+//
+//	-det   verify as a deterministic context (owns-udf rules: ENVW is
+//	       rejected)
+//	-run   interpret the program and print the result
+//	-meta  hex-encoded metadata input for -run (e.g. 0a00000001)
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"xok/internal/udf"
+)
+
+var (
+	detFlag  = flag.Bool("det", false, "verify under deterministic (owns-udf) rules")
+	runFlag  = flag.Bool("run", false, "interpret the program")
+	metaFlag = flag.String("meta", "", "hex metadata input for -run")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: udfasm [-det] [-run] [-meta hex] <file.udf | ->")
+		os.Exit(2)
+	}
+
+	var src []byte
+	var err error
+	if flag.Arg(0) == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(flag.Arg(0))
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	prog, err := udf.Assemble(flag.Arg(0), string(src))
+	if err != nil {
+		log.Fatalf("assemble: %v", err)
+	}
+	if err := udf.Verify(prog, *detFlag); err != nil {
+		log.Fatalf("verify: %v", err)
+	}
+	mode := "acl/size (nondeterministic allowed)"
+	if *detFlag {
+		mode = "owns (deterministic)"
+	}
+	fmt.Printf("; %d instructions, verified as %s\n", prog.Len(), mode)
+	fmt.Print(udf.Disassemble(prog))
+
+	if *runFlag {
+		var meta []byte
+		if *metaFlag != "" {
+			meta, err = hex.DecodeString(*metaFlag)
+			if err != nil {
+				log.Fatalf("bad -meta: %v", err)
+			}
+		}
+		res, err := udf.Run(prog, meta, nil, udf.Env{0, 0, 0, 0}, 0)
+		if err != nil {
+			log.Fatalf("run: %v", err)
+		}
+		fmt.Printf("\n; ret = %d, %d steps\n", res.Ret, res.Steps)
+		for _, e := range res.Extents {
+			fmt.Printf("; emit (start=%d count=%d type=%d)\n", e.Start, e.Count, e.Type)
+		}
+	}
+}

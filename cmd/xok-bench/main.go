@@ -1,0 +1,319 @@
+// xok-bench regenerates every table and figure from the paper's
+// evaluation as formatted text tables, with the published values shown
+// alongside for comparison.
+//
+// Usage:
+//
+//	xok-bench                  # run everything
+//	xok-bench -run figure2     # one experiment: figure2, mab,
+//	                           # protection, table2, figure3, figure4,
+//	                           # figure5, emulator, xcp
+//	xok-bench -full            # full-size Figures 4/5 (7/1 .. 35/5)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"xok/internal/apps"
+	"xok/internal/bsdos"
+	"xok/internal/cap"
+	"xok/internal/core"
+	"xok/internal/exos"
+	"xok/internal/kernel"
+	"xok/internal/ostest"
+	"xok/internal/sim"
+	"xok/internal/unix"
+	"xok/internal/workload"
+)
+
+var (
+	runFlag  = flag.String("run", "all", "experiment to run (all, figure2, mab, protection, table2, figure3, figure4, figure5, emulator, xcp)")
+	fullFlag = flag.Bool("full", false, "run Figures 4/5 at full size (35 jobs); slower")
+)
+
+func main() {
+	flag.Parse()
+	experiments := map[string]func(){
+		"figure2":    figure2,
+		"mab":        mab,
+		"protection": protection,
+		"table2":     table2,
+		"figure3":    figure3,
+		"figure4":    func() { globalPerf("Figure 4 (pool 1)", core.Pool1()) },
+		"figure5":    func() { globalPerf("Figure 5 (pool 2)", core.Pool2()) },
+		"emulator":   emulator,
+		"xcp":        xcp,
+	}
+	order := []string{"figure2", "mab", "protection", "table2", "emulator", "xcp", "figure3", "figure4", "figure5"}
+	if *runFlag == "all" {
+		for _, name := range order {
+			experiments[name]()
+		}
+		return
+	}
+	fn, ok := experiments[*runFlag]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; choose from %s\n",
+			*runFlag, strings.Join(order, ", "))
+		os.Exit(2)
+	}
+	fn()
+}
+
+func header(title string) {
+	fmt.Println()
+	fmt.Println(title)
+	fmt.Println(strings.Repeat("=", len(title)))
+}
+
+func figure2() {
+	header("Figure 2 / Table 1 — I/O-intensive workload (lcc install)")
+	fmt.Println("paper totals: Xok/ExOS 41s, OpenBSD/C-FFS 51s, OpenBSD 60s, FreeBSD 59s")
+	results, err := core.RunFigure2()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%-28s", "step")
+	for _, r := range results {
+		fmt.Printf(" %14s", r.System)
+	}
+	fmt.Println()
+	for i := range results[0].Steps {
+		fmt.Printf("%-28s", results[0].Steps[i].Name)
+		for _, r := range results {
+			fmt.Printf(" %14v", r.Steps[i].Elapsed)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-28s", "TOTAL")
+	for _, r := range results {
+		fmt.Printf(" %14v", r.Total)
+	}
+	fmt.Println()
+}
+
+func mab() {
+	header("Modified Andrew Benchmark (Section 6.2)")
+	fmt.Println("paper totals: Xok/ExOS 11.5s, OpenBSD/C-FFS 12.5s, OpenBSD 14.2s, FreeBSD 11.5s")
+	results, err := core.RunMAB()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%-12s", "phase")
+	for _, r := range results {
+		fmt.Printf(" %14s", r.System)
+	}
+	fmt.Println()
+	for i := range results[0].Phases {
+		fmt.Printf("%-12s", results[0].Phases[i].Name)
+		for _, r := range results {
+			fmt.Printf(" %14v", r.Phases[i].Elapsed)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-12s", "TOTAL")
+	for _, r := range results {
+		fmt.Printf(" %14v", r.Total)
+	}
+	fmt.Println()
+}
+
+func protection() {
+	header("Cost of protection (Section 6.3)")
+	fmt.Println("paper: 41.1s -> 39.7s; system calls 300,000 -> 81,000")
+	res, err := core.RunProtectionCost()
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, wo := res.WithProtection, res.WithoutProtection
+	fmt.Printf("\n%-22s %12s %12s %12s\n", "configuration", "total", "syscalls", "prot calls")
+	fmt.Printf("%-22s %12v %12d %12d\n", "XN + protection", w.Total, w.Syscalls, w.ProtCalls)
+	fmt.Printf("%-22s %12v %12d %12d\n", "no XN, no protection", wo.Total, wo.Syscalls, wo.ProtCalls)
+	fmt.Printf("\noverhead: %.1f%% of runtime\n",
+		100*float64(w.Total-wo.Total)/float64(wo.Total))
+}
+
+func table2() {
+	header("Table 2 — pipe latency (microseconds)")
+	fmt.Println("paper: shared 13/150, protection 30/148, OpenBSD 34/160 (1B / 8KB)")
+	rows, err := core.RunTable2()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%-16s %12s %12s\n", "implementation", "1 byte", "8 KB")
+	for _, r := range rows {
+		fmt.Printf("%-16s %10.1fus %10.1fus\n", r.Impl, r.Lat1B.Micros(), r.Lat8KB.Micros())
+	}
+}
+
+func figure3() {
+	header("Figure 3 — HTTP document throughput (requests/second)")
+	fmt.Println("paper: Cheetah up to 8x the best BSD server; 29.3 MB/s at 100KB (network-limited)")
+	results, err := core.RunFigure3(24, 300*sim.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%-12s %10s %12s %10s %9s\n", "server", "doc size", "req/s", "MB/s", "CPU idle")
+	last := ""
+	for _, r := range results {
+		if r.Server != last {
+			if last != "" {
+				fmt.Println()
+			}
+			last = r.Server
+		}
+		fmt.Printf("%-12s %9dB %12.0f %10.2f %8.0f%%\n",
+			r.Server, r.DocSize, r.ReqPerSec, r.MBytesPerS, r.CPUIdle*100)
+	}
+}
+
+func globalPerf(title string, pool []workload.JobKind) {
+	header(title + " — global performance under multitasking (Section 8)")
+	fmt.Println("paper: Xok/ExOS roughly comparable to FreeBSD; advantage grows with concurrency on pool 2")
+	cells := core.Figure45Cells()
+	if !*fullFlag {
+		cells = cells[:3]
+		fmt.Println("(scaled to 7/1..21/3; use -full for 35/5)")
+	}
+	fmt.Printf("\n%-8s %28s %28s\n", "", "Xok/ExOS", "FreeBSD")
+	fmt.Printf("%-8s %10s %8s %8s %10s %8s %8s\n",
+		"jobs/conc", "total", "max", "min", "total", "max", "min")
+	for _, cell := range cells {
+		x, f, err := core.RunGlobal(pool, cell, 1234)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%3d/%-4d %10v %8v %8v %10v %8v %8v\n",
+			cell.TotalJobs, cell.MaxConc,
+			x.Total, x.Max, x.Min, f.Total, f.Max, f.Min)
+	}
+}
+
+func emulator() {
+	header("OpenBSD binary emulation (Section 7.1)")
+	fmt.Println("paper: getpid 270 cycles on OpenBSD, 100 cycles emulated on Xok/ExOS")
+
+	// Emulated getpid on Xok/ExOS (reroute + ExOS library call).
+	sys := exos.Boot(exos.Config{})
+	var emulated sim.Time
+	sys.Spawn("emu", 0, func(p unix.Proc) {
+		ep := emulateGetpid(p)
+		const n = 2000
+		ep()
+		start := p.Now()
+		for i := 0; i < n; i++ {
+			ep()
+		}
+		emulated = (p.Now() - start) / n
+	})
+	sys.Run()
+
+	bsd := bsdos.Boot(bsdos.OpenBSD, bsdos.Config{})
+	native := ostest.GetpidCost(func(main func(unix.Proc)) {
+		bsd.Spawn("n", 0, main)
+		bsd.Run()
+	})
+	fmt.Printf("\ngetpid: native OpenBSD %d cycles, emulated on Xok/ExOS %d cycles\n",
+		native, emulated)
+}
+
+// emulateGetpid mirrors internal/emu without importing it here (the
+// emulator package has its own tests; this keeps the tool's output
+// self-contained).
+func emulateGetpid(p unix.Proc) func() int {
+	return func() int {
+		p.Compute(12) // INT reroute trampoline
+		return p.Getpid()
+	}
+}
+
+func xcp() {
+	header("XCP zero-touch copy (Section 7.2)")
+	fmt.Println("paper: XCP is ~3x faster than cp, in core and on disk")
+	for _, cold := range []bool{false, true} {
+		cpT, xcpT := xcpOnce(cold)
+		label := "in core"
+		if cold {
+			label = "on disk"
+		}
+		fmt.Printf("%-10s cp=%10v  xcp=%10v  speedup %.1fx\n",
+			label, cpT, xcpT, float64(cpT)/float64(xcpT))
+	}
+}
+
+func xcpOnce(cold bool) (cpT, xcpT sim.Time) {
+	const n, size = 8, 400_000
+	stage := func() (*exos.System, [][2]string) {
+		s := exos.Boot(exos.Config{})
+		pairs := make([][2]string, n)
+		s.Spawn("stage", 0, func(p unix.Proc) {
+			fds := make([]unix.FD, n)
+			for i := range fds {
+				fd, err := p.Create(fmt.Sprintf("/s%d", i), 6)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fds[i] = fd
+				pairs[i] = [2]string{fmt.Sprintf("/s%d", i), fmt.Sprintf("/d%d", i)}
+			}
+			chunk := make([]byte, sim.DiskBlockSize)
+			for off := 0; off < size; off += len(chunk) {
+				for i := range fds {
+					if _, err := p.Write(fds[i], chunk); err != nil {
+						log.Fatal(err)
+					}
+				}
+			}
+			for _, fd := range fds {
+				p.Close(fd)
+			}
+			if err := p.Sync(); err != nil {
+				log.Fatal(err)
+			}
+		})
+		s.Run()
+		if cold {
+			s.K.Spawn("evict", func(e *kernel.Env) {
+				e.Creds = cap.UnixCreds(0)
+				for {
+					if _, ok := s.X.RecycleLRU(e); !ok {
+						return
+					}
+				}
+			})
+			s.Run()
+		}
+		return s, pairs
+	}
+
+	sc, pairsC := stage()
+	start := sc.Now()
+	var end sim.Time
+	sc.Spawn("cp", 0, func(p unix.Proc) {
+		for _, pr := range pairsC {
+			if err := apps.Cp(p, pr[0], pr[1]); err != nil {
+				log.Fatal(err)
+			}
+		}
+		end = p.Now()
+	})
+	sc.Run()
+	cpT = end - start
+
+	sx, pairsX := stage()
+	start = sx.Now()
+	sx.K.Spawn("xcp", func(e *kernel.Env) {
+		e.Creds = cap.UnixCreds(0)
+		if err := apps.XCP(e, sx.FS, pairsX); err != nil {
+			log.Fatal(err)
+		}
+		end = sx.Now()
+	})
+	sx.Run()
+	xcpT = end - start
+	return cpT, xcpT
+}

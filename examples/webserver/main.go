@@ -1,0 +1,36 @@
+// Webserver: a slice of Figure 3. Serves documents over the simulated
+// 3 x 100-Mbit network from three servers — the NCSA-style forking
+// server and the socket server on the OpenBSD model, and Cheetah on
+// Xok — and prints their throughput side by side.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xok/internal/httpd"
+	"xok/internal/sim"
+)
+
+func main() {
+	fmt.Println("HTTP document throughput (24 closed-loop clients, 300ms window)")
+	fmt.Println()
+	fmt.Printf("%-12s %10s %12s %10s %8s\n", "server", "doc size", "requests/s", "MB/s", "CPU idle")
+
+	kinds := []httpd.Kind{httpd.NCSABSd, httpd.SocketBSD, httpd.SocketXok, httpd.Cheetah}
+	for _, size := range []int{0, 1024, 102400} {
+		for _, kind := range kinds {
+			r, err := httpd.Measure(kind, size, 24, 300*sim.Millisecond)
+			if err != nil {
+				log.Fatalf("%v@%d: %v", kind, size, err)
+			}
+			fmt.Printf("%-12s %9dB %12.0f %10.1f %7.0f%%\n",
+				r.Server, r.DocSize, r.ReqPerSec, r.MBytesPerS, r.CPUIdle*100)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Cheetah transmits straight from the file cache with precomputed")
+	fmt.Println("checksums and merged control packets; at 100KB it saturates the")
+	fmt.Println("network while the socket servers saturate the CPU (Section 7.3).")
+}

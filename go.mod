@@ -1,0 +1,3 @@
+module xok
+
+go 1.22

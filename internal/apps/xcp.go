@@ -1,0 +1,134 @@
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"xok/internal/cffs"
+	"xok/internal/disk"
+	"xok/internal/kernel"
+	"xok/internal/sim"
+	"xok/internal/udf"
+)
+
+// XCP is the "zero-touch" file copy program (Section 7.2): a
+// specialized exokernel application that bypasses the UNIX interface
+// and "exploits the low-level disk interface by removing artificial
+// ordering constraints, by improving disk scheduling through large
+// schedules, by eliminating data touching by the CPU, and by
+// performing all disk operations asynchronously."
+//
+// Given a list of files it (1) enumerates and sorts the disk blocks of
+// all files and issues large batched reads over the sorted schedule;
+// (2) creates the new files, preallocating their blocks while the
+// reads proceed through the driver queue; (3) binds the cached source
+// pages to the destination blocks (AdoptPage) and writes them out —
+// the data is DMAed into and out of the buffer cache without the CPU
+// ever touching it.
+func XCP(e *kernel.Env, fs *cffs.FS, pairs [][2]string) error {
+	x := fs.X
+
+	type job struct {
+		srcRef, dstRef cffs.Ref
+		size           int64
+		srcBlocks      []disk.BlockNo
+	}
+	jobs := make([]job, 0, len(pairs))
+
+	// Phase 1: enumerate every source block and build one sorted read
+	// schedule for all files together.
+	var schedule []disk.BlockNo
+	for _, pr := range pairs {
+		ref, in, err := fs.Lookup(e, pr[0])
+		if err != nil {
+			return fmt.Errorf("xcp: %s: %w", pr[0], err)
+		}
+		exts, err := fs.FileExtents(e, ref)
+		if err != nil {
+			return err
+		}
+		j := job{srcRef: ref, size: int64(in.Size)}
+		need := (int64(in.Size) + sim.DiskBlockSize - 1) / sim.DiskBlockSize
+		// Blocks within the direct extents are owned by the directory
+		// block (embedded inode); the rest by the indirect block,
+		// which FileExtents has just made resident.
+		var direct int64
+		for _, ext := range in.Ext {
+			direct += int64(ext.Count)
+		}
+		for _, ext := range exts {
+			for k := uint32(0); k < ext.Count && int64(len(j.srcBlocks)) < need; k++ {
+				b := disk.BlockNo(ext.Start + uint64(k))
+				owner := ref.Dir
+				if int64(len(j.srcBlocks)) >= direct && in.Ind != 0 {
+					owner = disk.BlockNo(in.Ind)
+				}
+				j.srcBlocks = append(j.srcBlocks, b)
+				if !x.Cached(b) {
+					if _, inReg := x.Lookup(b); !inReg {
+						if err := x.Insert(e, owner, udf.Extent{
+							Start: int64(b), Count: 1, Type: int64(fs.DataT),
+						}); err != nil {
+							return err
+						}
+					}
+					schedule = append(schedule, b)
+				}
+			}
+		}
+		jobs = append(jobs, j)
+	}
+	sort.Slice(schedule, func(i, k int) bool { return schedule[i] < schedule[k] })
+
+	// Phase 2: create and preallocate the destinations. (The driver is
+	// still free to merge this metadata I/O with the read schedule.)
+	if len(schedule) > 0 {
+		if err := x.Read(e, schedule, nil); err != nil {
+			return err
+		}
+	}
+	for i, pr := range pairs {
+		ref, err := fs.Create(e, pr[1], 0, 0, 6)
+		if err != nil {
+			return fmt.Errorf("xcp: create %s: %w", pr[1], err)
+		}
+		if err := fs.Preallocate(e, ref, jobs[i].size); err != nil {
+			return err
+		}
+		jobs[i].dstRef = ref
+	}
+
+	// Phase 3: bind source pages to destination blocks and write the
+	// whole batch — no CPU copies anywhere.
+	var writes []disk.BlockNo
+	for _, j := range jobs {
+		dexts, err := fs.FileExtents(e, j.dstRef)
+		if err != nil {
+			return err
+		}
+		var dst []disk.BlockNo
+		for _, ext := range dexts {
+			for k := uint32(0); k < ext.Count; k++ {
+				dst = append(dst, disk.BlockNo(ext.Start+uint64(k)))
+			}
+		}
+		if len(dst) < len(j.srcBlocks) {
+			return fmt.Errorf("xcp: preallocation short: %d < %d", len(dst), len(j.srcBlocks))
+		}
+		for k, sb := range j.srcBlocks {
+			if err := x.AdoptPage(e, dst[k], sb); err != nil {
+				return err
+			}
+			writes = append(writes, dst[k])
+		}
+	}
+	sort.Slice(writes, func(i, k int) bool { return writes[i] < writes[k] })
+	// Asynchronous: hand the sorted schedule to the driver and return
+	// ("performing all disk operations asynchronously"). The data is
+	// safely in the cache registry; any process may flush it.
+	if err := x.Write(nil, writes); err != nil {
+		return err
+	}
+	e.Syscall(sim.Time(20 * len(writes) / 16)) // batched write submission
+	return nil
+}

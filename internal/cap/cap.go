@@ -1,0 +1,185 @@
+// Package cap implements Xok's hierarchically-named capabilities
+// (Section 5.1; Mazières & Kaashoek, HotOS 1997). Despite the name,
+// these resemble a generalized form of UNIX user and group IDs more
+// than classical object capabilities: a capability is a path in a name
+// hierarchy, a capability dominates everything beneath it, and every
+// system call takes explicit credentials (a list of capabilities held
+// by the caller).
+//
+// The on-the-fly creation of sub-capabilities (Extend) is what lets a
+// libOS hand a child process rights to exactly one software region or
+// page: a buggy child that asks for write access to anything else will
+// present the wrong capability and be denied (Section 3.3).
+package cap
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Capability is a hierarchical name plus an access mode. The zero value
+// is the all-powerful root write capability (empty name dominates every
+// name).
+type Capability struct {
+	name  []uint16
+	read  bool // read-only if set and write clear
+	write bool
+}
+
+// Root returns the root capability. write selects write (full) or
+// read-only power.
+func Root(write bool) Capability {
+	return Capability{read: true, write: write}
+}
+
+// New builds a capability from explicit name components.
+func New(write bool, components ...uint16) Capability {
+	c := Root(write)
+	c.name = append([]uint16(nil), components...)
+	return c
+}
+
+// Extend derives a sub-capability one level below c, preserving c's
+// access mode. This is the paper's "on-the-fly creation of
+// hierarchically-named capabilities".
+func (c Capability) Extend(component uint16) Capability {
+	name := make([]uint16, len(c.name)+1)
+	copy(name, c.name)
+	name[len(c.name)] = component
+	return Capability{name: name, read: c.read, write: c.write}
+}
+
+// ReadOnly returns a copy of c with write power stripped.
+func (c Capability) ReadOnly() Capability {
+	return Capability{name: c.name, read: true, write: false}
+}
+
+// CanWrite reports whether c confers write access.
+func (c Capability) CanWrite() bool { return c.write }
+
+// Depth returns the number of name components.
+func (c Capability) Depth() int { return len(c.name) }
+
+// Dominates reports whether c's name is a (non-strict) prefix of o's
+// name — i.e. whether holding c implies holding o's name authority.
+// Access-mode is checked separately by Grants.
+func (c Capability) Dominates(o Capability) bool {
+	if len(c.name) > len(o.name) {
+		return false
+	}
+	for i, v := range c.name {
+		if o.name[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two capabilities name the same node with the
+// same mode.
+func (c Capability) Equal(o Capability) bool {
+	if len(c.name) != len(o.name) || c.write != o.write || c.read != o.read {
+		return false
+	}
+	for i, v := range c.name {
+		if o.name[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the capability like "cap(1.503:rw)".
+func (c Capability) String() string {
+	parts := make([]string, len(c.name))
+	for i, v := range c.name {
+		parts[i] = fmt.Sprint(v)
+	}
+	mode := "r"
+	if c.write {
+		mode = "rw"
+	}
+	name := strings.Join(parts, ".")
+	if name == "" {
+		name = "*"
+	}
+	return fmt.Sprintf("cap(%s:%s)", name, mode)
+}
+
+// Credentials is the explicit set of capabilities presented on a system
+// call. "All Xok calls require explicit credentials" (Section 5.1).
+type Credentials []Capability
+
+// Grants reports whether the credentials include a capability that
+// dominates guard and carries write power when write access is asked.
+func (cr Credentials) Grants(guard Capability, write bool) bool {
+	for _, c := range cr {
+		if write && !c.write {
+			continue
+		}
+		if c.Dominates(guard) {
+			return true
+		}
+	}
+	return false
+}
+
+// With returns a new credential set with c appended.
+func (cr Credentials) With(c Capability) Credentials {
+	out := make(Credentials, len(cr)+1)
+	copy(out, cr)
+	out[len(cr)] = c
+	return out
+}
+
+// UNIX identity mapping used by C-FFS (Section 4.5): uids live under
+// branch 1 of the hierarchy, gids under branch 2. The superuser holds
+// the root capability and therefore dominates both branches.
+const (
+	branchUID uint16 = 1
+	branchGID uint16 = 2
+)
+
+// UID returns the capability standing for UNIX user id u.
+func UID(u uint16, write bool) Capability {
+	return New(write, branchUID, u)
+}
+
+// GID returns the capability standing for UNIX group id g.
+func GID(g uint16, write bool) Capability {
+	return New(write, branchGID, g)
+}
+
+// CredWord extracts the UNIX identity encoded in a credential set for
+// consumption by acl-uf environment words: i=0 returns the uid, i=1 the
+// primary gid. Root credentials read as 0; credentials carrying no such
+// identity read as -1.
+func CredWord(cr Credentials, i int) int64 {
+	branch := branchUID
+	if i == 1 {
+		branch = branchGID
+	}
+	for _, c := range cr {
+		if len(c.name) == 0 && c.write {
+			return 0 // superuser
+		}
+		if len(c.name) >= 2 && c.name[0] == branch {
+			return int64(c.name[1])
+		}
+	}
+	return -1
+}
+
+// UnixCreds builds the credential set a UNIX-like process running as
+// (uid, gids...) would present: a write uid capability plus write gid
+// capabilities. uid 0 gets the root capability.
+func UnixCreds(uid uint16, gids ...uint16) Credentials {
+	if uid == 0 {
+		return Credentials{Root(true)}
+	}
+	cr := Credentials{UID(uid, true)}
+	for _, g := range gids {
+		cr = append(cr, GID(g, true))
+	}
+	return cr
+}

@@ -1,0 +1,157 @@
+package cap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRootDominatesEverything(t *testing.T) {
+	root := Root(true)
+	leaf := New(true, 1, 2, 3, 4)
+	if !root.Dominates(leaf) {
+		t.Fatal("root must dominate every capability")
+	}
+	if leaf.Dominates(root) {
+		t.Fatal("leaf must not dominate root")
+	}
+	if !root.Dominates(root) {
+		t.Fatal("dominance must be reflexive")
+	}
+}
+
+func TestExtendCreatesChild(t *testing.T) {
+	parent := New(true, 7)
+	child := parent.Extend(9)
+	if !parent.Dominates(child) {
+		t.Fatal("parent must dominate extended child")
+	}
+	if child.Dominates(parent) {
+		t.Fatal("child must not dominate parent")
+	}
+	if child.Depth() != 2 {
+		t.Fatalf("child depth = %d, want 2", child.Depth())
+	}
+	// Extending must not alias the parent's backing array.
+	c1 := parent.Extend(1)
+	c2 := parent.Extend(2)
+	if c1.Dominates(c2) || c2.Dominates(c1) {
+		t.Fatal("siblings must not dominate each other")
+	}
+}
+
+func TestSiblingIsolation(t *testing.T) {
+	a := New(true, 1, 5)
+	b := New(true, 1, 6)
+	if a.Dominates(b) || b.Dominates(a) {
+		t.Fatal("siblings must be incomparable")
+	}
+	common := New(true, 1)
+	if !common.Dominates(a) || !common.Dominates(b) {
+		t.Fatal("common ancestor must dominate both")
+	}
+}
+
+func TestReadOnlyStripsWrite(t *testing.T) {
+	c := New(true, 3)
+	ro := c.ReadOnly()
+	if ro.CanWrite() {
+		t.Fatal("ReadOnly kept write power")
+	}
+	if !ro.Dominates(c.Extend(1)) {
+		t.Fatal("ReadOnly must keep name authority")
+	}
+}
+
+func TestCredentialsGrants(t *testing.T) {
+	guard := New(true, 1, 503) // uid 503's guard
+	cr := Credentials{UID(503, true)}
+	if !cr.Grants(guard, true) {
+		t.Fatal("matching uid capability denied write")
+	}
+	if !cr.Grants(guard, false) {
+		t.Fatal("matching uid capability denied read")
+	}
+	other := Credentials{UID(504, true)}
+	if other.Grants(guard, false) {
+		t.Fatal("wrong uid capability granted access")
+	}
+	roCr := Credentials{UID(503, false)}
+	if roCr.Grants(guard, true) {
+		t.Fatal("read-only capability granted write")
+	}
+	if !roCr.Grants(guard, false) {
+		t.Fatal("read-only capability denied read")
+	}
+}
+
+func TestUnixCreds(t *testing.T) {
+	cr := UnixCreds(503, 100, 200)
+	if len(cr) != 3 {
+		t.Fatalf("creds = %d entries, want 3", len(cr))
+	}
+	if !cr.Grants(UID(503, true), true) {
+		t.Fatal("uid write denied")
+	}
+	if !cr.Grants(GID(200, true), true) {
+		t.Fatal("gid write denied")
+	}
+	if cr.Grants(UID(9, true), false) {
+		t.Fatal("foreign uid granted")
+	}
+	root := UnixCreds(0)
+	if !root.Grants(UID(503, true), true) || !root.Grants(GID(7, true), true) {
+		t.Fatal("uid 0 must dominate all uids and gids")
+	}
+}
+
+func TestUIDvsGIDBranches(t *testing.T) {
+	if UID(5, true).Dominates(GID(5, true)) {
+		t.Fatal("uid branch must not dominate gid branch")
+	}
+}
+
+func TestWith(t *testing.T) {
+	base := Credentials{UID(1, true)}
+	ext := base.With(GID(2, true))
+	if len(base) != 1 || len(ext) != 2 {
+		t.Fatal("With must not mutate the receiver")
+	}
+	if !ext.Grants(GID(2, true), true) {
+		t.Fatal("appended capability missing")
+	}
+}
+
+func TestEqualAndString(t *testing.T) {
+	a := New(true, 1, 2)
+	b := New(true, 1, 2)
+	if !a.Equal(b) {
+		t.Fatal("identical capabilities not Equal")
+	}
+	if a.Equal(a.ReadOnly()) {
+		t.Fatal("mode must participate in Equal")
+	}
+	if a.Equal(New(true, 1, 3)) {
+		t.Fatal("different names Equal")
+	}
+	if got := a.String(); got != "cap(1.2:rw)" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := Root(false).String(); got != "cap(*:r)" {
+		t.Fatalf("root String = %q", got)
+	}
+}
+
+func TestDominanceTransitivityProperty(t *testing.T) {
+	// For random chains a <= b <= c built by extension, dominance must
+	// be transitive and antisymmetric.
+	f := func(x, y, z uint16) bool {
+		a := New(true, x)
+		b := a.Extend(y)
+		c := b.Extend(z)
+		return a.Dominates(b) && b.Dominates(c) && a.Dominates(c) &&
+			!c.Dominates(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

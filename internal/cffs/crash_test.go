@@ -1,0 +1,240 @@
+package cffs
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"xok/internal/cap"
+	"xok/internal/kernel"
+	"xok/internal/sim"
+	"xok/internal/xn"
+)
+
+// Crash-consistency fuzzing: run a randomized stream of file system
+// operations, cut the power at an arbitrary instant (transplant the
+// disk image into a fresh machine), remount, and verify:
+//
+//  1. Mount + Attach succeed (XN's reachability GC rebuilds the free
+//     map from any crash-point image — Section 4.4);
+//  2. Fsck finds a structurally clean tree (no shared blocks, unique
+//     names, sane extents) — the Ganger/Patt rules at work;
+//  3. everything that was covered by a Sync *before* the crash is
+//     intact byte-for-byte (durability).
+//
+// Operations after the last Sync may or may not have survived — that
+// is the contract of asynchronous writes — but they must never damage
+// structure or durable data.
+
+// content derives a file's deterministic bytes from its path and
+// version.
+func content(path string, version, size int) []byte {
+	out := make([]byte, size)
+	h := uint32(2166136261)
+	for i := 0; i < len(path); i++ {
+		h = (h ^ uint32(path[i])) * 16777619
+	}
+	h ^= uint32(version) * 2654435761
+	for i := range out {
+		h = h*1664525 + 1013904223
+		out[i] = byte(h >> 24)
+	}
+	return out
+}
+
+type shadowFile struct {
+	data []byte // exact expected content
+}
+
+func TestCrashConsistencyFuzz(t *testing.T) {
+	const trials = 8
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			fuzzOnce(t, uint64(trial)*7919+17)
+		})
+	}
+}
+
+func fuzzOnce(t *testing.T, seed uint64) {
+	rng := sim.NewRNG(seed)
+	k := kernel.New(kernel.Config{Name: "xok", MemPages: 4096, DiskSize: 32768})
+	x := xn.New(k)
+	x.FlushBehind = 64
+
+	var fs *FS
+	k.Spawn("mkfs", func(e *kernel.Env) {
+		e.Creds = cap.UnixCreds(0)
+		var err error
+		fs, err = Mkfs(e, x, "cffs", DefaultConfig())
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	k.Run()
+	if t.Failed() {
+		return
+	}
+
+	// The shadow model: what a correct FS must contain after replaying
+	// the operation log. durable = state as of the last Sync.
+	live := map[string]shadowFile{}
+	durable := map[string]shadowFile{}
+	dirs := []string{""}
+
+	k.Spawn("chaos", func(e *kernel.Env) {
+		e.Creds = cap.UnixCreds(0)
+		for op := 0; op < 220; op++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2: // create or overwrite a file
+				dir := dirs[rng.Intn(len(dirs))]
+				name := fmt.Sprintf("f%d", rng.Intn(24))
+				path := dir + "/" + name
+				size := 1 + rng.Intn(30000)
+				sf, exists := live[path]
+				if !exists {
+					if _, err := fs.Create(e, path, 0, 0, 6); err != nil {
+						if err == ErrExists {
+							continue // a directory holds this name
+						}
+						t.Errorf("create %s: %v", path, err)
+						return
+					}
+				}
+				ref, _, err := fs.Lookup(e, path)
+				if err != nil {
+					t.Errorf("lookup %s: %v", path, err)
+					return
+				}
+				data := content(path, op, size)
+				if _, err := fs.WriteAt(e, ref, 0, data); err != nil {
+					t.Errorf("write %s: %v", path, err)
+					return
+				}
+				// A shrinking overwrite keeps the old tail bytes.
+				expected := append([]byte(nil), data...)
+				if exists && len(sf.data) > len(expected) {
+					expected = append(expected, sf.data[len(expected):]...)
+				}
+				live[path] = shadowFile{data: expected}
+				// A post-sync overwrite may be partially flushed by
+				// the crash; only unmodified-since-sync files carry a
+				// durability guarantee.
+				delete(durable, path)
+			case 3: // unlink
+				if len(live) == 0 {
+					continue
+				}
+				for path := range live {
+					if err := fs.Unlink(e, path); err != nil {
+						t.Errorf("unlink %s: %v", path, err)
+						return
+					}
+					delete(live, path)
+					delete(durable, path)
+					break
+				}
+			case 4: // mkdir
+				if len(dirs) > 6 {
+					continue
+				}
+				parent := dirs[rng.Intn(len(dirs))]
+				path := parent + fmt.Sprintf("/d%d", rng.Intn(8))
+				if err := fs.Mkdir(e, path, 0, 0, 7); err != nil {
+					if err == ErrExists {
+						continue
+					}
+					t.Errorf("mkdir %s: %v", path, err)
+					return
+				}
+				dirs = append(dirs, path)
+			case 5: // sync: everything so far becomes durable
+				if err := fs.Sync(e); err != nil {
+					t.Errorf("sync: %v", err)
+					return
+				}
+				durable = make(map[string]shadowFile, len(live))
+				for p, sf := range live {
+					durable[p] = sf
+				}
+			default: // read back a live file and verify (online check)
+				if len(live) == 0 {
+					continue
+				}
+				for path, sf := range live {
+					ref, _, err := fs.Lookup(e, path)
+					if err != nil {
+						t.Errorf("lookup %s: %v", path, err)
+						return
+					}
+					buf := make([]byte, len(sf.data))
+					n, err := fs.ReadAt(e, ref, 0, buf)
+					if err != nil || n != len(sf.data) {
+						t.Errorf("read %s: n=%d err=%v", path, n, err)
+						return
+					}
+					if !bytes.Equal(buf, sf.data) {
+						t.Errorf("online read of %s mismatches shadow", path)
+						return
+					}
+					break
+				}
+			}
+		}
+	})
+
+	// Crash at an arbitrary instant mid-run.
+	crashAt := sim.Time(rng.Intn(int(2 * sim.CPUHz)))
+	k.RunUntil(crashAt)
+	snapshot := k.Disk.Snapshot()
+	k.Shutdown()
+	if t.Failed() {
+		return
+	}
+
+	// Fresh machine, transplanted disk.
+	k2 := kernel.New(kernel.Config{Name: "xok2", MemPages: 4096, DiskSize: 32768})
+	k2.Disk.Restore(snapshot)
+	x2, err := xn.Mount(k2)
+	if err != nil {
+		t.Fatalf("mount after crash@%v: %v", crashAt, err)
+	}
+	k2.Spawn("verify", func(e *kernel.Env) {
+		e.Creds = cap.UnixCreds(0)
+		fs2, err := Attach(e, x2, "cffs", DefaultConfig())
+		if err != nil {
+			t.Errorf("attach after crash: %v", err)
+			return
+		}
+		report, err := fs2.Fsck(e)
+		if err != nil {
+			t.Errorf("fsck after crash@%v: %v", crashAt, err)
+			return
+		}
+		for _, msg := range report.Errors {
+			t.Errorf("fsck: %s", msg)
+		}
+		// Durability: everything covered by the last pre-crash Sync.
+		for path, sf := range durable {
+			ref, in, err := fs2.Lookup(e, path)
+			if err != nil {
+				t.Errorf("durable file %s lost after crash@%v: %v", path, crashAt, err)
+				continue
+			}
+			if int(in.Size) != len(sf.data) {
+				t.Errorf("durable file %s: size %d, want %d", path, in.Size, len(sf.data))
+				continue
+			}
+			got := make([]byte, len(sf.data))
+			if _, err := fs2.ReadAt(e, ref, 0, got); err != nil {
+				t.Errorf("durable file %s unreadable: %v", path, err)
+				continue
+			}
+			if !bytes.Equal(got, sf.data) {
+				t.Errorf("durable file %s: content corrupted after crash@%v", path, crashAt)
+			}
+		}
+	})
+	k2.Run()
+	k2.Shutdown()
+}

@@ -1,0 +1,559 @@
+package cffs
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"xok/internal/disk"
+	"xok/internal/kernel"
+	"xok/internal/sim"
+	"xok/internal/udf"
+	"xok/internal/xn"
+)
+
+// File data paths: ReadAt / WriteAt move bytes between caller buffers
+// and cached pages; extent allocation implements the co-location
+// policy. Lower-level consumers (XCP, Cheetah's XIO) use FileExtents
+// and the XN registry directly to avoid the copies entirely.
+
+// decodeIndirect parses an indirect block's extent table.
+func decodeIndirect(data []byte) []Extent {
+	n := int(binary.LittleEndian.Uint32(data[0:]))
+	if n > IndMaxEntries {
+		n = IndMaxEntries
+	}
+	out := make([]Extent, 0, n)
+	for i := 0; i < n; i++ {
+		off := IndEntriesOff + i*IndEntrySize
+		out = append(out, Extent{
+			Start: binary.LittleEndian.Uint64(data[off:]),
+			Count: binary.LittleEndian.Uint32(data[off+8:]),
+		})
+	}
+	return out
+}
+
+// blockCount sums an extent list.
+func blockCount(exts []Extent) uint32 {
+	var n uint32
+	for _, e := range exts {
+		n += e.Count
+	}
+	return n
+}
+
+// ensureIndCached loads the file's indirect block.
+func (fs *FS) ensureIndCached(e *kernel.Env, ref Ref, ind disk.BlockNo) error {
+	if fs.X.Cached(ind) {
+		fs.X.Pin(ind)
+		return nil
+	}
+	if _, ok := fs.X.Lookup(ind); !ok {
+		if err := fs.X.Insert(e, ref.Dir, udf.Extent{Start: int64(ind), Count: 1, Type: int64(fs.IndT)}); err != nil {
+			return err
+		}
+	}
+	if err := fs.X.Read(e, []disk.BlockNo{ind}, nil); err != nil {
+		return err
+	}
+	fs.X.Pin(ind)
+	return nil
+}
+
+// FileExtents returns the file's full extent list in order (direct
+// then indirect). Exposed for zero-touch consumers like XCP.
+func (fs *FS) FileExtents(e *kernel.Env, ref Ref) ([]Extent, error) {
+	if err := fs.ensureDir(e, ref.Dir, xn.NoParent); err != nil {
+		return nil, err
+	}
+	in := DecodeSlot(fs.dirData(ref.Dir), ref.Slot)
+	var out []Extent
+	for _, ext := range in.Ext {
+		if ext.Count > 0 {
+			out = append(out, ext)
+		}
+	}
+	if in.Ind != 0 {
+		if err := fs.ensureIndCached(e, ref, disk.BlockNo(in.Ind)); err != nil {
+			return nil, err
+		}
+		out = append(out, decodeIndirect(fs.X.PageData(disk.BlockNo(in.Ind)))...)
+	}
+	return out, nil
+}
+
+// blockAt maps a file block index to its disk block.
+func blockAt(exts []Extent, idx uint32) (disk.BlockNo, bool) {
+	for _, e := range exts {
+		if idx < e.Count {
+			return disk.BlockNo(e.Start + uint64(idx)), true
+		}
+		idx -= e.Count
+	}
+	return 0, false
+}
+
+// owner returns which metadata block owns file block index idx: the
+// directory block (direct extents) or the indirect block.
+func (fs *FS) ownerOf(in Inode, ref Ref, idx uint32) disk.BlockNo {
+	var direct uint32
+	for _, e := range in.Ext {
+		direct += e.Count
+	}
+	if idx < direct || in.Ind == 0 {
+		return ref.Dir
+	}
+	return disk.BlockNo(in.Ind)
+}
+
+// ReadAt reads up to len(buf) bytes at offset off, returning the count.
+func (fs *FS) ReadAt(e *kernel.Env, ref Ref, off int64, buf []byte) (int, error) {
+	e.LibCall(100)
+	if err := fs.ensureDir(e, ref.Dir, xn.NoParent); err != nil {
+		return 0, err
+	}
+	in := DecodeSlot(fs.dirData(ref.Dir), ref.Slot)
+	if !in.Used {
+		return 0, ErrNotFound
+	}
+	size := int64(in.Size)
+	if off >= size {
+		return 0, nil
+	}
+	if off+int64(len(buf)) > size {
+		buf = buf[:size-off]
+	}
+	exts, err := fs.FileExtents(e, ref)
+	if err != nil {
+		return 0, err
+	}
+
+	// Gather the needed blocks and fetch the missing ones in one
+	// batched, sorted read (contiguous runs coalesce at the disk).
+	first := uint32(off / sim.DiskBlockSize)
+	last := uint32((off + int64(len(buf)) - 1) / sim.DiskBlockSize)
+	var need []disk.BlockNo
+	for idx := first; idx <= last; idx++ {
+		b, ok := blockAt(exts, idx)
+		if !ok {
+			return 0, fmt.Errorf("cffs: hole at block %d", idx)
+		}
+		if !fs.X.Cached(b) {
+			if _, inReg := fs.X.Lookup(b); !inReg {
+				owner := fs.ownerOf(in, ref, idx)
+				if err := fs.X.Insert(e, owner, udf.Extent{Start: int64(b), Count: 1, Type: int64(fs.DataT)}); err != nil {
+					return 0, err
+				}
+			}
+			need = append(need, b)
+		}
+	}
+	if len(need) > 0 {
+		if err := fs.X.Read(e, need, nil); err != nil {
+			return 0, err
+		}
+	}
+
+	// Copy out. Under severe cache pressure a block that was resident
+	// at gather time may have been recycled while the misses were
+	// read; fetch it again.
+	n := 0
+	for idx := first; idx <= last; idx++ {
+		b, _ := blockAt(exts, idx)
+		if !fs.X.Cached(b) {
+			if _, inReg := fs.X.Lookup(b); !inReg {
+				owner := fs.ownerOf(in, ref, idx)
+				if err := fs.X.Insert(e, owner, udf.Extent{Start: int64(b), Count: 1, Type: int64(fs.DataT)}); err != nil {
+					return n, err
+				}
+			}
+			if err := fs.X.Read(e, []disk.BlockNo{b}, nil); err != nil {
+				return n, err
+			}
+		}
+		data := fs.X.PageData(b)
+		lo := int64(0)
+		if idx == first {
+			lo = off % sim.DiskBlockSize
+		}
+		hi := int64(sim.DiskBlockSize)
+		if rem := off + int64(len(buf)) - int64(idx)*sim.DiskBlockSize; rem < hi {
+			hi = rem
+		}
+		n += copy(buf[n:], data[lo:hi])
+	}
+	e.Use(sim.CopyCost(n))
+	fs.X.K.Stats.Add(sim.CtrBytesCopied, int64(n))
+	return n, nil
+}
+
+// appendExtentMods builds the slot modification that records a new or
+// extended direct extent. Returns nil if no direct slot can take it.
+func appendDirectMods(in Inode, ref Ref, start disk.BlockNo, count uint32) ([]xn.Mod, bool) {
+	for i := 0; i < DirectExtents; i++ {
+		ext := in.Ext[i]
+		if ext.Count > 0 && ext.Start+uint64(ext.Count) == uint64(start) {
+			in.Ext[i].Count += count
+			return []xn.Mod{{Off: SlotOff(ref.Slot), Bytes: EncodeSlot(in)}}, true
+		}
+		if ext.Count == 0 {
+			in.Ext[i] = Extent{Start: uint64(start), Count: count}
+			return []xn.Mod{{Off: SlotOff(ref.Slot), Bytes: EncodeSlot(in)}}, true
+		}
+	}
+	return nil, false
+}
+
+// growFile allocates `need` more blocks for the file, co-locating near
+// the directory (or after the last extent) per policy. Returns the
+// updated inode.
+func (fs *FS) growFile(e *kernel.Env, ref Ref, in Inode, need uint32) (Inode, error) {
+	for need > 0 {
+		// Refresh the slot image: earlier loop iterations (and any
+		// sharer) may have changed it.
+		in = DecodeSlot(fs.dirData(ref.Dir), ref.Slot)
+		exts, err := fs.FileExtents(e, ref)
+		if err != nil {
+			return in, err
+		}
+		// Pick a target: extend the tail, or start near the directory
+		// (C-FFS) / at the roaming cursor (FFS profile).
+		var hint disk.BlockNo
+		if len(exts) > 0 {
+			tail := exts[len(exts)-1]
+			hint = disk.BlockNo(tail.Start + uint64(tail.Count))
+		} else if fs.Cfg.Colocate {
+			hint = ref.Dir + 1
+		} else {
+			hint = fs.dataCursor
+			fs.dataCursor += 64
+			if int64(fs.dataCursor) >= fs.X.D.NumBlocks()-64 {
+				fs.dataCursor = fs.Root + 512
+			}
+		}
+		start, ok := fs.X.FindFree(hint, 1)
+		if !ok {
+			return in, xn.ErrNotFree
+		}
+		// How long a contiguous run can we take from here?
+		run := uint32(1)
+		for run < need && fs.X.IsFree(start+disk.BlockNo(run)) {
+			run++
+		}
+
+		if mods, ok := appendDirectMods(in, ref, start, run); ok {
+			if err := fs.X.Alloc(e, ref.Dir, mods,
+				udf.Extent{Start: int64(start), Count: int64(run), Type: int64(fs.DataT)}); err != nil {
+				return in, err
+			}
+		} else {
+			// Spill to the indirect block.
+			if in.Ind == 0 {
+				ib, ok := fs.X.FindFree(start+disk.BlockNo(run), 1)
+				if !ok {
+					return in, xn.ErrNotFree
+				}
+				ni := in
+				ni.Ind = uint64(ib)
+				if err := fs.X.Alloc(e, ref.Dir,
+					[]xn.Mod{{Off: SlotOff(ref.Slot), Bytes: EncodeSlot(ni)}},
+					udf.Extent{Start: int64(ib), Count: 1, Type: int64(fs.IndT)}); err != nil {
+					return in, err
+				}
+				zero := make([]byte, 8)
+				if err := fs.X.InitMetadata(e, ib, zero); err != nil {
+					return in, err
+				}
+				in = ni
+			}
+			ind := disk.BlockNo(in.Ind)
+			if err := fs.ensureIndCached(e, ref, ind); err != nil {
+				return in, err
+			}
+			table := decodeIndirect(fs.X.PageData(ind))
+			// Merge with the last entry when contiguous.
+			if n := len(table); n > 0 && table[n-1].Start+uint64(table[n-1].Count) == uint64(start) {
+				cnt := make([]byte, 4)
+				binary.LittleEndian.PutUint32(cnt, table[n-1].Count+run)
+				off := IndEntriesOff + (n-1)*IndEntrySize + 8
+				if err := fs.X.Alloc(e, ind, []xn.Mod{{Off: off, Bytes: cnt}},
+					udf.Extent{Start: int64(start), Count: int64(run), Type: int64(fs.DataT)}); err != nil {
+					return in, err
+				}
+			} else {
+				if len(table) >= IndMaxEntries {
+					return in, ErrFileLimit
+				}
+				entry := make([]byte, IndEntrySize)
+				binary.LittleEndian.PutUint64(entry[0:], uint64(start))
+				binary.LittleEndian.PutUint32(entry[8:], run)
+				cnt := make([]byte, 4)
+				binary.LittleEndian.PutUint32(cnt, uint32(len(table)+1))
+				mods := []xn.Mod{
+					{Off: IndEntriesOff + len(table)*IndEntrySize, Bytes: entry},
+					{Off: 0, Bytes: cnt},
+				}
+				if err := fs.X.Alloc(e, ind, mods,
+					udf.Extent{Start: int64(start), Count: int64(run), Type: int64(fs.DataT)}); err != nil {
+					return in, err
+				}
+			}
+		}
+		need -= run
+	}
+	return DecodeSlot(fs.dirData(ref.Dir), ref.Slot), nil
+}
+
+// Preallocate grows the file to hold size bytes (allocating blocks
+// with the usual co-location policy) and records the size, without
+// writing any data — the XCP path that overlaps allocation with reads.
+func (fs *FS) Preallocate(e *kernel.Env, ref Ref, size int64) error {
+	e.LibCall(100)
+	if err := fs.ensureDir(e, ref.Dir, xn.NoParent); err != nil {
+		return err
+	}
+	in := DecodeSlot(fs.dirData(ref.Dir), ref.Slot)
+	if !in.Used || in.Kind != KindFile {
+		return ErrNotFound
+	}
+	exts, err := fs.FileExtents(e, ref)
+	if err != nil {
+		return err
+	}
+	want := uint32((size + sim.DiskBlockSize - 1) / sim.DiskBlockSize)
+	if have := blockCount(exts); want > have {
+		if in, err = fs.growFile(e, ref, in, want-have); err != nil {
+			return err
+		}
+	}
+	if int64(in.Size) < size {
+		in.Size = uint32(size)
+		if err := fs.X.Modify(e, ref.Dir, []xn.Mod{{Off: SlotOff(ref.Slot), Bytes: EncodeSlot(in)}}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteAt writes data at offset off, allocating blocks as needed, and
+// updates size and mtime ("modification times are updated when file
+// data are changed" — C-FFS implicit updates, Section 4.5).
+func (fs *FS) WriteAt(e *kernel.Env, ref Ref, off int64, data []byte) (int, error) {
+	e.LibCall(100)
+	if len(data) == 0 {
+		return 0, nil
+	}
+	if err := fs.ensureDir(e, ref.Dir, xn.NoParent); err != nil {
+		return 0, err
+	}
+	in := DecodeSlot(fs.dirData(ref.Dir), ref.Slot)
+	if !in.Used {
+		return 0, ErrNotFound
+	}
+	if in.Kind != KindFile {
+		return 0, ErrIsDir
+	}
+	end := off + int64(len(data))
+	if end > int64(IndMaxEntries+DirectExtents)*sim.DiskBlockSize*64 {
+		return 0, ErrFileLimit
+	}
+
+	exts, err := fs.FileExtents(e, ref)
+	if err != nil {
+		return 0, err
+	}
+	have := blockCount(exts)
+	wantBlocks := uint32((end + sim.DiskBlockSize - 1) / sim.DiskBlockSize)
+	if wantBlocks > have {
+		in, err = fs.growFile(e, ref, in, wantBlocks-have)
+		if err != nil {
+			return 0, err
+		}
+		exts, err = fs.FileExtents(e, ref)
+		if err != nil {
+			return 0, err
+		}
+	}
+
+	first := uint32(off / sim.DiskBlockSize)
+	last := uint32((end - 1) / sim.DiskBlockSize)
+	n := 0
+	for idx := first; idx <= last; idx++ {
+		b, ok := blockAt(exts, idx)
+		if !ok {
+			return n, fmt.Errorf("cffs: missing block %d after grow", idx)
+		}
+		lo := int64(0)
+		if idx == first {
+			lo = off % sim.DiskBlockSize
+		}
+		hi := int64(sim.DiskBlockSize)
+		if rem := end - int64(idx)*sim.DiskBlockSize; rem < hi {
+			hi = rem
+		}
+		fullBlock := lo == 0 && hi == sim.DiskBlockSize
+
+		en, inReg := fs.X.Lookup(b)
+		switch {
+		case inReg && en.State == xn.StateResident:
+			// cached: write through the mapping
+		case inReg && en.Uninit:
+			if _, err := fs.X.AttachPage(e, b); err != nil {
+				return n, err
+			}
+		case fullBlock:
+			// Full overwrite of an uncached block: no read needed.
+			if !inReg {
+				owner := fs.ownerOf(in, ref, idx)
+				if err := fs.X.Insert(e, owner, udf.Extent{Start: int64(b), Count: 1, Type: int64(fs.DataT)}); err != nil {
+					return n, err
+				}
+			}
+			if _, err := fs.X.AttachPage(e, b); err != nil {
+				return n, err
+			}
+		default:
+			// Partial overwrite: read-modify-write.
+			if !inReg {
+				owner := fs.ownerOf(in, ref, idx)
+				if err := fs.X.Insert(e, owner, udf.Extent{Start: int64(b), Count: 1, Type: int64(fs.DataT)}); err != nil {
+					return n, err
+				}
+			}
+			if err := fs.X.Read(e, []disk.BlockNo{b}, nil); err != nil {
+				return n, err
+			}
+		}
+		page := fs.X.PageData(b)
+		n += copy(page[lo:hi], data[n:])
+		if err := fs.X.MarkDirty(e, b); err != nil {
+			return n, err
+		}
+	}
+	e.Use(sim.CopyCost(n))
+	fs.X.K.Stats.Add(sim.CtrBytesCopied, int64(n))
+
+	// Implicit size/mtime update.
+	if end > int64(in.Size) {
+		in.Size = uint32(end)
+	}
+	in.MTime = uint32(fs.X.K.Now().Seconds())
+	if err := fs.X.Modify(e, ref.Dir, []xn.Mod{{Off: SlotOff(ref.Slot), Bytes: EncodeSlot(in)}}); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// Unlink removes a file and deallocates its blocks (indirect contents
+// first, then the indirect block, then the direct extents, then the
+// slot).
+func (fs *FS) Unlink(e *kernel.Env, path string) error {
+	ref, in, err := fs.Lookup(e, path)
+	if err != nil {
+		return err
+	}
+	if in.Kind == KindDir {
+		return ErrIsDir
+	}
+	if in.Ind != 0 {
+		ind := disk.BlockNo(in.Ind)
+		if err := fs.ensureIndCached(e, ref, ind); err != nil {
+			return err
+		}
+		table := decodeIndirect(fs.X.PageData(ind))
+		for i := len(table) - 1; i >= 0; i-- {
+			cnt := make([]byte, 4)
+			binary.LittleEndian.PutUint32(cnt, uint32(i))
+			if err := fs.X.Dealloc(e, ind, []xn.Mod{{Off: 0, Bytes: cnt}},
+				udf.Extent{Start: int64(table[i].Start), Count: int64(table[i].Count), Type: int64(fs.DataT)}); err != nil {
+				return err
+			}
+		}
+		ni := in
+		ni.Ind = 0
+		if err := fs.X.Dealloc(e, ref.Dir,
+			[]xn.Mod{{Off: SlotOff(ref.Slot), Bytes: EncodeSlot(ni)}},
+			udf.Extent{Start: int64(ind), Count: 1, Type: int64(fs.IndT)}); err != nil {
+			return err
+		}
+		in = ni
+	}
+	for i := DirectExtents - 1; i >= 0; i-- {
+		if in.Ext[i].Count == 0 {
+			continue
+		}
+		ext := in.Ext[i]
+		ni := in
+		ni.Ext[i] = Extent{}
+		if err := fs.X.Dealloc(e, ref.Dir,
+			[]xn.Mod{{Off: SlotOff(ref.Slot), Bytes: EncodeSlot(ni)}},
+			udf.Extent{Start: int64(ext.Start), Count: int64(ext.Count), Type: int64(fs.DataT)}); err != nil {
+			return err
+		}
+		in = ni
+	}
+	if err := fs.X.Modify(e, ref.Dir,
+		[]xn.Mod{{Off: SlotOff(ref.Slot), Bytes: make([]byte, SlotSize)}}); err != nil {
+		return err
+	}
+	delete(fs.nameCache, path) // implicit name-cache update
+	fs.touchItable(e, ref, true)
+	fs.syncMeta(e, ref.Dir)
+	return nil
+}
+
+// Rmdir removes an empty directory.
+func (fs *FS) Rmdir(e *kernel.Env, path string) error {
+	ref, in, err := fs.Lookup(e, path)
+	if err != nil {
+		return err
+	}
+	if in.Kind != KindDir {
+		return ErrNotDir
+	}
+	head := disk.BlockNo(in.Ext[0].Start)
+	// Walk the chain: every block must be slot-free.
+	var chain []disk.BlockNo
+	blk, par := head, ref.Dir
+	for {
+		if err := fs.ensureDir(e, blk, par); err != nil {
+			return err
+		}
+		chain = append(chain, blk)
+		data := fs.dirData(blk)
+		for i := 0; i < SlotsPerBlock; i++ {
+			if data[SlotOff(i)] != 0 {
+				return ErrNotEmpty
+			}
+		}
+		next := DirNext(data)
+		if next == 0 {
+			break
+		}
+		par = blk
+		blk = disk.BlockNo(next)
+	}
+	// Release continuation blocks tail-first (each owned by its
+	// predecessor), then the head from the parent slot.
+	for i := len(chain) - 1; i >= 1; i-- {
+		zero := make([]byte, 8)
+		if err := fs.X.Dealloc(e, chain[i-1], []xn.Mod{{Off: hoNext, Bytes: zero}},
+			udf.Extent{Start: int64(chain[i]), Count: 1, Type: int64(fs.DirT)}); err != nil {
+			return err
+		}
+	}
+	ni := in
+	ni.Ext[0] = Extent{}
+	ni.Used = false
+	ni.Name = ""
+	ni.Kind = 0
+	if err := fs.X.Dealloc(e, ref.Dir,
+		[]xn.Mod{{Off: SlotOff(ref.Slot), Bytes: EncodeSlot(ni)}},
+		udf.Extent{Start: int64(head), Count: 1, Type: int64(fs.DirT)}); err != nil {
+		return err
+	}
+	delete(fs.nameCache, path)
+	fs.touchItable(e, ref, true)
+	fs.syncMeta(e, ref.Dir)
+	return nil
+}

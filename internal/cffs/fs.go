@@ -1,0 +1,650 @@
+package cffs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+
+	"xok/internal/disk"
+	"xok/internal/kernel"
+	"xok/internal/sim"
+	"xok/internal/udf"
+	"xok/internal/xn"
+)
+
+// Config selects the file system's structural policies. The C-FFS
+// defaults are what give the paper's speedups; the FFS baseline
+// (internal/ffs) reuses this implementation with the flags inverted,
+// which isolates exactly the structural differences the C-FFS paper
+// identifies (embedded inodes, co-location, asynchronous metadata).
+type Config struct {
+	// Colocate allocates file data adjacent to its directory block
+	// (C-FFS). When false, data goes to a rotating cursor far from the
+	// directory, FFS-style.
+	Colocate bool
+
+	// SyncMeta forces synchronous directory/inode writes on namespace
+	// operations (create, mkdir, unlink, rmdir, rename) — the FFS
+	// integrity discipline that XN's ordering rules make unnecessary.
+	SyncMeta bool
+
+	// EmbeddedInodes stores inodes inside directory blocks (C-FFS).
+	// When false, every namespace operation also dirties (and, with
+	// SyncMeta, synchronously writes) a block in a separate inode
+	// table region, modelling FFS's split between inodes and
+	// directories.
+	EmbeddedInodes bool
+
+	// Temporary marks the whole file system non-persistent. XN then
+	// exempts it from the write-ordering rules ("entire file systems
+	// [can] be marked 'temporary' ... memory-based file systems can be
+	// implemented with no loss of efficiency", Section 4.3.2) and the
+	// root does not survive a reboot.
+	Temporary bool
+}
+
+// MemConfig is a memory-based (tmpfs-style) file system: C-FFS
+// policies with persistence off — one of the file systems Section 4.6
+// names as planned future work.
+func MemConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Temporary = true
+	return cfg
+}
+
+// DefaultConfig is genuine C-FFS.
+func DefaultConfig() Config {
+	return Config{Colocate: true, SyncMeta: false, EmbeddedInodes: true}
+}
+
+// FFSConfig is the FFS-style baseline profile.
+func FFSConfig() Config {
+	return Config{Colocate: false, SyncMeta: true, EmbeddedInodes: false}
+}
+
+// Ref locates a file: the directory block holding its slot, and the
+// slot index. With embedded inodes this *is* the inode's address.
+type Ref struct {
+	Dir  disk.BlockNo
+	Slot int
+}
+
+// Errors.
+var (
+	ErrNotFound  = errors.New("cffs: no such file or directory")
+	ErrExists    = errors.New("cffs: file exists")
+	ErrNotDir    = errors.New("cffs: not a directory")
+	ErrIsDir     = errors.New("cffs: is a directory")
+	ErrNotEmpty  = errors.New("cffs: directory not empty")
+	ErrDirFull   = errors.New("cffs: directory has no free slots")
+	ErrFileLimit = errors.New("cffs: file size limit reached")
+	ErrNameLen   = errors.New("cffs: name too long")
+)
+
+const itableBlocks = 32
+
+// FS is one mounted C-FFS file system.
+type FS struct {
+	X    *xn.XN
+	Name string
+	Cfg  Config
+
+	Root  disk.BlockNo
+	DirT  xn.TemplateID
+	IndT  xn.TemplateID
+	DataT xn.TemplateID
+
+	itable     disk.BlockNo // inode-table region (non-embedded mode)
+	dataCursor disk.BlockNo // FFS-style allocation cursor
+
+	nameCache map[string]Ref
+}
+
+// Mkfs formats a new C-FFS on the volume: installs the three templates
+// (data first, then indirect, then the self-referential directory type
+// whose ID is predicted via NextTemplateID), claims and registers the
+// root directory block, and initializes it.
+func Mkfs(e *kernel.Env, x *xn.XN, name string, cfg Config) (*FS, error) {
+	fs := &FS{X: x, Name: name, Cfg: cfg, nameCache: make(map[string]Ref)}
+
+	dataT, err := x.InstallTemplate(e, xn.Template{
+		Name:        name + ".data",
+		Owns:        mustAsm(name+".data.owns", noOwnsSource),
+		Acl:         mustAsm(name+".data.acl", approveAllSource),
+		Size:        mustAsm(name+".data.size", blockSizeSource),
+		AclAtParent: true,
+		Temporary:   cfg.Temporary,
+	})
+	if err != nil {
+		return nil, err
+	}
+	indT, err := x.InstallTemplate(e, xn.Template{
+		Name:      name + ".ind",
+		Owns:      mustAsm(name+".ind.owns", indOwnsSource(int64(dataT))),
+		Acl:       mustAsm(name+".ind.acl", approveAllSource),
+		Size:      mustAsm(name+".ind.size", blockSizeSource),
+		Temporary: cfg.Temporary,
+	})
+	if err != nil {
+		return nil, err
+	}
+	dirT := x.NextTemplateID()
+	gotDirT, err := x.InstallTemplate(e, xn.Template{
+		Name:      name + ".dir",
+		Owns:      mustAsm(name+".dir.owns", dirOwnsSource(int64(dirT), int64(dataT), int64(indT))),
+		Acl:       mustAsm(name+".dir.acl", dirAclSource),
+		Size:      mustAsm(name+".dir.size", dirSizeSource),
+		Temporary: cfg.Temporary,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if gotDirT != dirT {
+		return nil, fmt.Errorf("cffs: template id prediction failed: %d != %d", gotDirT, dirT)
+	}
+	fs.DataT, fs.IndT, fs.DirT = dataT, indT, dirT
+
+	root, err := x.AllocRootExtent(e, 64, 1)
+	if err != nil {
+		return nil, err
+	}
+	fs.Root = root
+	if err := x.RegisterRoot(e, xn.Root{
+		Name: name, Start: root, Count: 1, Tmpl: dirT, Temporary: cfg.Temporary,
+	}); err != nil {
+		return nil, err
+	}
+	if _, err := x.LoadRoot(e, name); err != nil {
+		return nil, err
+	}
+	// Initialize the root directory header in place (the freshly-read
+	// zero block owns nothing, so this is a pure Modify).
+	hdr := EncodeDirHeader(0, 0, 7) // uid 0, other bits rwx: world-usable root
+	if err := x.Modify(e, root, []xn.Mod{{Off: 0, Bytes: hdr}}); err != nil {
+		return nil, err
+	}
+
+	if !cfg.EmbeddedInodes {
+		if err := fs.setupItable(e); err != nil {
+			return nil, err
+		}
+	}
+	fs.dataCursor = root + 512
+	return fs, nil
+}
+
+// setupItable claims the separate inode-table region used by the FFS
+// baseline profile.
+func (fs *FS) setupItable(e *kernel.Env) error {
+	x := fs.X
+	itT, err := x.InstallTemplate(e, xn.Template{
+		Name: fs.Name + ".itable",
+		Owns: mustAsm(fs.Name+".itable.owns", noOwnsSource),
+		Acl:  mustAsm(fs.Name+".itable.acl", approveAllSource),
+		Size: mustAsm(fs.Name+".itable.size", blockSizeSource),
+	})
+	if err != nil {
+		return err
+	}
+	start, err := x.AllocRootExtent(e, fs.Root+2048, itableBlocks)
+	if err != nil {
+		return err
+	}
+	if err := x.RegisterRoot(e, xn.Root{
+		Name: fs.Name + ".itable", Start: start, Count: itableBlocks, Tmpl: itT,
+	}); err != nil {
+		return err
+	}
+	if _, err := x.LoadRoot(e, fs.Name+".itable"); err != nil {
+		return err
+	}
+	fs.itable = start
+	return nil
+}
+
+// Attach mounts an existing C-FFS (e.g. after a reboot): looks up the
+// templates and root by name and loads the root directory.
+func Attach(e *kernel.Env, x *xn.XN, name string, cfg Config) (*FS, error) {
+	fs := &FS{X: x, Name: name, Cfg: cfg, nameCache: make(map[string]Ref)}
+	for _, tp := range []struct {
+		suffix string
+		dst    *xn.TemplateID
+	}{{".data", &fs.DataT}, {".ind", &fs.IndT}, {".dir", &fs.DirT}} {
+		t, ok := x.TemplateByName(name + tp.suffix)
+		if !ok {
+			return nil, fmt.Errorf("cffs: template %s%s missing", name, tp.suffix)
+		}
+		*tp.dst = t.ID
+	}
+	r, err := x.LoadRoot(e, name)
+	if err != nil {
+		return nil, err
+	}
+	fs.Root = r.Start
+	if !cfg.EmbeddedInodes {
+		ir, err := x.LoadRoot(e, name+".itable")
+		if err != nil {
+			return nil, err
+		}
+		fs.itable = ir.Start
+	}
+	fs.dataCursor = fs.Root + 512
+	return fs, nil
+}
+
+// ensureDir makes a directory block resident, inserting it under its
+// parent in the registry if needed.
+func (fs *FS) ensureDir(e *kernel.Env, blk, parent disk.BlockNo) error {
+	if fs.X.Cached(blk) {
+		fs.X.Pin(blk)
+		return nil
+	}
+	if _, ok := fs.X.Lookup(blk); !ok {
+		if err := fs.X.Insert(e, parent, udf.Extent{Start: int64(blk), Count: 1, Type: int64(fs.DirT)}); err != nil {
+			return err
+		}
+	}
+	if err := fs.X.Read(e, []disk.BlockNo{blk}, nil); err != nil {
+		return err
+	}
+	// Directory blocks are the libFS's hot metadata: pin them so
+	// handles and the name cache stay valid under cache pressure.
+	fs.X.Pin(blk)
+	return nil
+}
+
+func (fs *FS) dirData(blk disk.BlockNo) []byte { return fs.X.PageData(blk) }
+
+// split normalizes a path into components.
+func split(path string) []string {
+	var out []string
+	for _, c := range strings.Split(path, "/") {
+		if c != "" && c != "." {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// findEntry scans a directory chain for name. Returns the ref and
+// inode.
+func (fs *FS) findEntry(e *kernel.Env, head, parent disk.BlockNo, name string) (Ref, Inode, error) {
+	blk, par := head, parent
+	for {
+		if err := fs.ensureDir(e, blk, par); err != nil {
+			return Ref{}, Inode{}, err
+		}
+		data := fs.dirData(blk)
+		e.Use(sim.TouchCost(DirHdrSize + SlotsPerBlock*8)) // scan cost
+		for i := 0; i < SlotsPerBlock; i++ {
+			if data[SlotOff(i)] == 0 {
+				continue
+			}
+			in := DecodeSlot(data, i)
+			if in.Name == name {
+				return Ref{Dir: blk, Slot: i}, in, nil
+			}
+		}
+		next := DirNext(data)
+		if next == 0 {
+			return Ref{}, Inode{}, ErrNotFound
+		}
+		par = blk
+		blk = disk.BlockNo(next)
+	}
+}
+
+// walkDir resolves the directory containing path's last component,
+// returning its head block and the final name. LibOS-level name cache
+// first ("renaming or deleting a file updates the name cache",
+// Section 4.5).
+func (fs *FS) walkDir(e *kernel.Env, path string) (disk.BlockNo, string, error) {
+	comps := split(path)
+	if len(comps) == 0 {
+		return 0, "", ErrIsDir
+	}
+	e.LibCall(100)
+	cur := fs.Root
+	var par disk.BlockNo = xn.NoParent
+	if err := fs.ensureDir(e, cur, par); err != nil {
+		return 0, "", err
+	}
+	for _, c := range comps[:len(comps)-1] {
+		ref, in, err := fs.findEntry(e, cur, par, c)
+		if err != nil {
+			return 0, "", err
+		}
+		if in.Kind != KindDir {
+			return 0, "", ErrNotDir
+		}
+		par = ref.Dir
+		child := disk.BlockNo(in.Ext[0].Start)
+		if err := fs.ensureDir(e, child, par); err != nil {
+			return 0, "", err
+		}
+		par = ref.Dir
+		cur = child
+	}
+	return cur, comps[len(comps)-1], nil
+}
+
+// Lookup resolves a path to its Ref and Inode.
+func (fs *FS) Lookup(e *kernel.Env, path string) (Ref, Inode, error) {
+	if r, ok := fs.nameCache[path]; ok {
+		if fs.X.Cached(r.Dir) {
+			data := fs.dirData(r.Dir)
+			in := DecodeSlot(data, r.Slot)
+			if in.Used {
+				e.LibCall(50)
+				return r, in, nil
+			}
+		}
+		delete(fs.nameCache, path)
+	}
+	head, name, err := fs.walkDir(e, path)
+	if err != nil {
+		return Ref{}, Inode{}, err
+	}
+	ref, in, err := fs.findEntry(e, head, xn.NoParent, name)
+	if err != nil {
+		return Ref{}, Inode{}, err
+	}
+	fs.nameCache[path] = ref
+	fs.touchItable(e, ref, false)
+	return ref, in, nil
+}
+
+// Stat returns the inode for path.
+func (fs *FS) Stat(e *kernel.Env, path string) (Inode, error) {
+	if len(split(path)) == 0 {
+		return Inode{Used: true, Kind: KindDir, Name: "/"}, nil
+	}
+	_, in, err := fs.Lookup(e, path)
+	return in, err
+}
+
+// touchItable models the FFS split-inode penalty: reads (and for
+// namespace mutations dirties) the file's block in the separate inode
+// region.
+func (fs *FS) touchItable(e *kernel.Env, ref Ref, dirty bool) {
+	if fs.Cfg.EmbeddedInodes {
+		return
+	}
+	blk := fs.itable + disk.BlockNo((int64(ref.Dir)*SlotsPerBlock+int64(ref.Slot))%itableBlocks)
+	if !fs.X.Cached(blk) {
+		_ = fs.X.Read(e, []disk.BlockNo{blk}, nil)
+	}
+	if dirty {
+		_ = fs.X.MarkDirty(e, blk)
+		if fs.Cfg.SyncMeta {
+			_ = fs.X.Write(e, []disk.BlockNo{blk})
+		}
+	}
+}
+
+// freeSlot finds (or creates, by extending the chain) a free slot in
+// the directory whose head block is head. Returns the block and index.
+func (fs *FS) freeSlot(e *kernel.Env, head disk.BlockNo) (disk.BlockNo, int, error) {
+	blk := head
+	var par disk.BlockNo = xn.NoParent
+	for {
+		if err := fs.ensureDir(e, blk, par); err != nil {
+			return 0, 0, err
+		}
+		data := fs.dirData(blk)
+		for i := 0; i < SlotsPerBlock; i++ {
+			if data[SlotOff(i)] == 0 {
+				return blk, i, nil
+			}
+		}
+		next := DirNext(data)
+		if next != 0 {
+			par = blk
+			blk = disk.BlockNo(next)
+			continue
+		}
+		// Extend the chain with a continuation block co-located with
+		// the directory.
+		nb, ok := fs.X.FindFree(blk+1, 1)
+		if !ok {
+			return 0, 0, ErrDirFull
+		}
+		nextBytes := make([]byte, 8)
+		binary.LittleEndian.PutUint64(nextBytes, uint64(nb))
+		if err := fs.X.Alloc(e, blk, []xn.Mod{{Off: hoNext, Bytes: nextBytes}},
+			udf.Extent{Start: int64(nb), Count: 1, Type: int64(fs.DirT)}); err != nil {
+			return 0, 0, err
+		}
+		hdr := fs.dirData(blk)
+		if err := fs.X.InitMetadata(e, nb, EncodeDirHeader(
+			binary.LittleEndian.Uint32(hdr[hoUID:]),
+			binary.LittleEndian.Uint32(hdr[hoGID:]),
+			binary.LittleEndian.Uint32(hdr[hoMode:]))); err != nil {
+			return 0, 0, err
+		}
+		fs.syncMeta(e, nb, blk)
+		par = blk
+		blk = nb
+	}
+}
+
+// syncMeta performs the FFS-style synchronous metadata write when
+// configured, flushing uninitialized children first to satisfy XN's
+// ordering rules.
+func (fs *FS) syncMeta(e *kernel.Env, blks ...disk.BlockNo) {
+	if !fs.Cfg.SyncMeta {
+		return
+	}
+	for _, b := range blks {
+		fs.syncOne(e, b, 0)
+	}
+}
+
+func (fs *FS) syncOne(e *kernel.Env, b disk.BlockNo, depth int) {
+	if depth > 8 {
+		return
+	}
+	err := fs.X.Write(e, []disk.BlockNo{b})
+	if err == nil {
+		fs.X.K.Stats.Inc(sim.CtrSyncWrites)
+		return
+	}
+	if !errors.Is(err, xn.ErrTainted) {
+		return
+	}
+	// Flush resident uninitialized children first, then retry.
+	for _, c := range fs.childBlocks(b) {
+		if en, ok := fs.X.Lookup(c); ok && en.Uninit && en.State == xn.StateResident {
+			fs.syncOne(e, c, depth+1)
+		}
+	}
+	if fs.X.Write(e, []disk.BlockNo{b}) == nil {
+		fs.X.K.Stats.Inc(sim.CtrSyncWrites)
+	}
+}
+
+// childBlocks lists the blocks a cached directory/indirect block owns,
+// by decoding the slots (the libFS understands its own format; it does
+// not need XN for this).
+func (fs *FS) childBlocks(b disk.BlockNo) []disk.BlockNo {
+	en, ok := fs.X.Lookup(b)
+	if !ok || en.State != xn.StateResident {
+		return nil
+	}
+	data := fs.X.PageData(b)
+	var out []disk.BlockNo
+	if en.Tmpl == fs.DirT {
+		if next := DirNext(data); next != 0 {
+			out = append(out, disk.BlockNo(next))
+		}
+		for i := 0; i < SlotsPerBlock; i++ {
+			if data[SlotOff(i)] == 0 {
+				continue
+			}
+			in := DecodeSlot(data, i)
+			for _, ext := range in.Ext {
+				for j := uint32(0); j < ext.Count; j++ {
+					out = append(out, disk.BlockNo(ext.Start+uint64(j)))
+				}
+			}
+			if in.Ind != 0 {
+				out = append(out, disk.BlockNo(in.Ind))
+			}
+		}
+	} else if en.Tmpl == fs.IndT {
+		for _, ext := range decodeIndirect(data) {
+			for j := uint32(0); j < ext.Count; j++ {
+				out = append(out, disk.BlockNo(ext.Start+uint64(j)))
+			}
+		}
+	}
+	return out
+}
+
+// Create makes a new empty file.
+func (fs *FS) Create(e *kernel.Env, path string, uid, gid, mode uint32) (Ref, error) {
+	head, name, err := fs.walkDir(e, path)
+	if err != nil {
+		return Ref{}, err
+	}
+	if len(name) > MaxNameLen {
+		return Ref{}, ErrNameLen
+	}
+	// Name-uniqueness guarantee (Section 4.5): scan the chain.
+	if _, _, err := fs.findEntry(e, head, xn.NoParent, name); err == nil {
+		return Ref{}, ErrExists
+	}
+	blk, slot, err := fs.freeSlot(e, head)
+	if err != nil {
+		return Ref{}, err
+	}
+	in := Inode{
+		Used: true, Kind: KindFile, Name: name,
+		UID: uid, GID: gid, Mode: mode,
+		MTime: uint32(fs.X.K.Now().Seconds()),
+	}
+	if err := fs.X.Modify(e, blk, []xn.Mod{{Off: SlotOff(slot), Bytes: EncodeSlot(in)}}); err != nil {
+		return Ref{}, err
+	}
+	ref := Ref{Dir: blk, Slot: slot}
+	fs.nameCache[path] = ref
+	fs.touchItable(e, ref, true)
+	fs.syncMeta(e, blk)
+	return ref, nil
+}
+
+// Mkdir creates a directory: a slot in the parent plus a freshly
+// allocated, initialized directory block owned by the parent block.
+func (fs *FS) Mkdir(e *kernel.Env, path string, uid, gid, mode uint32) error {
+	head, name, err := fs.walkDir(e, path)
+	if err != nil {
+		return err
+	}
+	if len(name) > MaxNameLen {
+		return ErrNameLen
+	}
+	if _, _, err := fs.findEntry(e, head, xn.NoParent, name); err == nil {
+		return ErrExists
+	}
+	blk, slot, err := fs.freeSlot(e, head)
+	if err != nil {
+		return err
+	}
+	nb, ok := fs.X.FindFree(blk+1, 1)
+	if !ok {
+		return xn.ErrNotFree
+	}
+	in := Inode{
+		Used: true, Kind: KindDir, Name: name,
+		UID: uid, GID: gid, Mode: mode,
+		MTime: uint32(fs.X.K.Now().Seconds()),
+	}
+	in.Ext[0] = Extent{Start: uint64(nb), Count: 1}
+	if err := fs.X.Alloc(e, blk, []xn.Mod{{Off: SlotOff(slot), Bytes: EncodeSlot(in)}},
+		udf.Extent{Start: int64(nb), Count: 1, Type: int64(fs.DirT)}); err != nil {
+		return err
+	}
+	if err := fs.X.InitMetadata(e, nb, EncodeDirHeader(uid, gid, mode)); err != nil {
+		return err
+	}
+	ref := Ref{Dir: blk, Slot: slot}
+	fs.touchItable(e, ref, true)
+	fs.syncMeta(e, nb, blk)
+	return nil
+}
+
+// Readdir lists the entries of the directory at path.
+func (fs *FS) Readdir(e *kernel.Env, path string) ([]Inode, error) {
+	comps := split(path)
+	head := fs.Root
+	if len(comps) > 0 {
+		_, in, err := fs.Lookup(e, path)
+		if err != nil {
+			return nil, err
+		}
+		if in.Kind != KindDir {
+			return nil, ErrNotDir
+		}
+		head = disk.BlockNo(in.Ext[0].Start)
+	}
+	var out []Inode
+	blk := head
+	var par disk.BlockNo = xn.NoParent
+	for {
+		if err := fs.ensureDir(e, blk, par); err != nil {
+			return nil, err
+		}
+		data := fs.dirData(blk)
+		e.Use(sim.TouchCost(sim.DiskBlockSize / 8))
+		for i := 0; i < SlotsPerBlock; i++ {
+			if data[SlotOff(i)] != 0 {
+				out = append(out, DecodeSlot(data, i))
+			}
+		}
+		next := DirNext(data)
+		if next == 0 {
+			return out, nil
+		}
+		par = blk
+		blk = disk.BlockNo(next)
+	}
+}
+
+// Rename renames within a directory via a slot update; a cross-
+// directory rename degrades to copy-and-delete at the libOS level.
+func (fs *FS) Rename(e *kernel.Env, oldPath, newPath string) error {
+	oldHead, oldName, err := fs.walkDir(e, oldPath)
+	if err != nil {
+		return err
+	}
+	newHead, newName, err := fs.walkDir(e, newPath)
+	if err != nil {
+		return err
+	}
+	if len(newName) > MaxNameLen {
+		return ErrNameLen
+	}
+	if oldHead != newHead {
+		return fmt.Errorf("cffs: cross-directory rename not supported at this layer")
+	}
+	ref, in, err := fs.findEntry(e, oldHead, xn.NoParent, oldName)
+	if err != nil {
+		return err
+	}
+	if _, _, err := fs.findEntry(e, newHead, xn.NoParent, newName); err == nil {
+		return ErrExists
+	}
+	in.Name = newName
+	if err := fs.X.Modify(e, ref.Dir, []xn.Mod{{Off: SlotOff(ref.Slot), Bytes: EncodeSlot(in)}}); err != nil {
+		return err
+	}
+	delete(fs.nameCache, oldPath) // implicit name-cache update
+	fs.nameCache[newPath] = ref
+	fs.touchItable(e, ref, true)
+	fs.syncMeta(e, ref.Dir)
+	return nil
+}
+
+// Sync flushes all dirty state in dependency order.
+func (fs *FS) Sync(e *kernel.Env) error { return fs.X.Sync(e) }

@@ -1,0 +1,217 @@
+package cffs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"xok/internal/cap"
+	"xok/internal/disk"
+	"xok/internal/kernel"
+	"xok/internal/sim"
+	"xok/internal/udf"
+	"xok/internal/xn"
+)
+
+// Multiple library file systems sharing one disk is the whole point of
+// XN (Section 4: "an exokernel must provide a means to safely
+// multiplex disks among multiple library file systems"). These tests
+// run two independent C-FFS volumes — different owners — on a single
+// XN and check both coexistence and isolation.
+
+func bootTwo(t *testing.T) (*kernel.Kernel, *xn.XN, *FS, *FS) {
+	t.Helper()
+	k := kernel.New(kernel.Config{Name: "xok", MemPages: 8192, DiskSize: 65536})
+	x := xn.New(k)
+	var fsA, fsB *FS
+	k.Spawn("mkfs", func(e *kernel.Env) {
+		e.Creds = cap.UnixCreds(0)
+		var err error
+		if fsA, err = Mkfs(e, x, "alpha", DefaultConfig()); err != nil {
+			t.Error(err)
+			return
+		}
+		if fsB, err = Mkfs(e, x, "beta", DefaultConfig()); err != nil {
+			t.Error(err)
+		}
+	})
+	k.Run()
+	if t.Failed() {
+		t.FailNow()
+	}
+	return k, x, fsA, fsB
+}
+
+func TestTwoVolumesCoexist(t *testing.T) {
+	k, x, fsA, fsB := bootTwo(t)
+	k.Spawn("use", func(e *kernel.Env) {
+		e.Creds = cap.UnixCreds(0)
+		refA, err := fsA.Create(e, "/a.txt", 0, 0, 6)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		refB, err := fsB.Create(e, "/b.txt", 0, 0, 6)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		da := bytes.Repeat([]byte("A"), 9000)
+		db := bytes.Repeat([]byte("B"), 9000)
+		if _, err := fsA.WriteAt(e, refA, 0, da); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := fsB.WriteAt(e, refB, 0, db); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := x.Sync(e); err != nil {
+			t.Error(err)
+			return
+		}
+		// No block belongs to both volumes.
+		extsA, _ := fsA.FileExtents(e, refA)
+		extsB, _ := fsB.FileExtents(e, refB)
+		blocks := map[uint64]bool{uint64(fsA.Root): true, uint64(fsB.Root): true}
+		for _, exts := range [][]Extent{extsA, extsB} {
+			for _, ext := range exts {
+				for j := uint32(0); j < ext.Count; j++ {
+					b := ext.Start + uint64(j)
+					if blocks[b] {
+						t.Errorf("block %d allocated to both volumes", b)
+					}
+					blocks[b] = true
+				}
+			}
+		}
+		// Contents stay separate.
+		got := make([]byte, 9000)
+		if _, err := fsA.ReadAt(e, refA, 0, got); err != nil || !bytes.Equal(got, da) {
+			t.Error("volume A content wrong")
+		}
+		if _, err := fsB.ReadAt(e, refB, 0, got); err != nil || !bytes.Equal(got, db) {
+			t.Error("volume B content wrong")
+		}
+	})
+	k.Run()
+
+	// Both survive a reboot independently.
+	x2, err := xn.Mount(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Spawn("remount", func(e *kernel.Env) {
+		e.Creds = cap.UnixCreds(0)
+		a2, err := Attach(e, x2, "alpha", DefaultConfig())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		b2, err := Attach(e, x2, "beta", DefaultConfig())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, _, err := a2.Lookup(e, "/a.txt"); err != nil {
+			t.Errorf("alpha lost /a.txt: %v", err)
+		}
+		if _, _, err := b2.Lookup(e, "/b.txt"); err != nil {
+			t.Errorf("beta lost /b.txt: %v", err)
+		}
+		if _, _, err := a2.Lookup(e, "/b.txt"); !errors.Is(err, ErrNotFound) {
+			t.Error("alpha sees beta's file")
+		}
+	})
+	k.Run()
+}
+
+func TestCrossVolumeTheftRejected(t *testing.T) {
+	// A libFS cannot allocate a block the other volume already owns —
+	// XN's free-map check stops it regardless of what the thief's own
+	// metadata claims.
+	k, x, fsA, fsB := bootTwo(t)
+	k.Spawn("thief", func(e *kernel.Env) {
+		e.Creds = cap.UnixCreds(0)
+		refA, err := fsA.Create(e, "/loot", 0, 0, 6)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := fsA.WriteAt(e, refA, 0, make([]byte, 4096)); err != nil {
+			t.Error(err)
+			return
+		}
+		exts, _ := fsA.FileExtents(e, refA)
+		victim := exts[0].Start
+
+		// Forge a slot in beta's root claiming alpha's block.
+		in := Inode{Used: true, Kind: KindFile, Name: "stolen", Mode: 6, Size: 4096}
+		in.Ext[0] = Extent{Start: victim, Count: 1}
+		err = x.Alloc(e, fsB.Root,
+			[]xn.Mod{{Off: SlotOff(0), Bytes: EncodeSlot(in)}},
+			udf.Extent{Start: int64(victim), Count: 1, Type: int64(fsB.DataT)})
+		if !errors.Is(err, xn.ErrNotFree) {
+			t.Errorf("cross-volume theft err = %v, want ErrNotFree", err)
+		}
+	})
+	k.Run()
+}
+
+func TestMemFSSkipsOrderingAndDoesNotPersist(t *testing.T) {
+	// Section 4.3.2's temporary file systems: full speed (no ordering
+	// rules) and gone after reboot.
+	k := kernel.New(kernel.Config{Name: "xok", MemPages: 4096, DiskSize: 32768})
+	x := xn.New(k)
+	k.Spawn("mem", func(e *kernel.Env) {
+		e.Creds = cap.UnixCreds(0)
+		mem, err := Mkfs(e, x, "tmp", MemConfig())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := mem.Mkdir(e, "/scratch", 0, 0, 7); err != nil {
+			t.Error(err)
+			return
+		}
+		ref, err := mem.Create(e, "/scratch/x", 0, 0, 6)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := mem.WriteAt(e, ref, 0, make([]byte, 20000)); err != nil {
+			t.Error(err)
+			return
+		}
+		// The ordering exemption: writing the root while children are
+		// uninitialized is allowed for temporary trees. Make an
+		// allocation whose child never gets written, then write root.
+		tgt, _ := x.FindFree(mem.Root+100, 1)
+		in := Inode{Used: true, Kind: KindFile, Name: "hollow", Mode: 6}
+		in.Ext[0] = Extent{Start: uint64(tgt), Count: 1}
+		if err := x.Alloc(e, mem.Root,
+			[]xn.Mod{{Off: SlotOff(30), Bytes: EncodeSlot(in)}},
+			udf.Extent{Start: int64(tgt), Count: 1, Type: int64(mem.DataT)}); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := x.Write(e, []disk.BlockNo{mem.Root}); err != nil {
+			t.Errorf("temporary FS exempt from ordering, but write failed: %v", err)
+		}
+	})
+	k.Run()
+
+	// After a reboot the temporary root is gone and its blocks free.
+	x2, err := xn.Mount(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Spawn("check", func(e *kernel.Env) {
+		e.Creds = cap.UnixCreds(0)
+		if _, err := x2.LookupRoot(e, "tmp"); !errors.Is(err, xn.ErrNoRoot) {
+			t.Errorf("temporary FS survived reboot: %v", err)
+		}
+	})
+	k.Run()
+	_ = sim.Time(0)
+}

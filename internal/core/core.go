@@ -1,0 +1,164 @@
+// Package core is the top-level facade of the exokernel reproduction:
+// one entry point to boot simulated machines (Xok/ExOS and the BSD
+// models) and to run every experiment from the paper's evaluation —
+// Figure 2 / Table 1 (the I/O-intensive workload), the Modified Andrew
+// Benchmark, the Section 6.3 cost-of-protection measurement, Table 2
+// (pipe latencies), the Section 7.1 emulator and 7.2 XCP results,
+// Figure 3 (HTTP throughput), and Figures 4 and 5 (global
+// performance).
+//
+// The examples and cmd/xok-bench are built on this package; each
+// experiment returns plain result structs so callers can format or
+// assert on them.
+package core
+
+import (
+	"fmt"
+
+	"xok/internal/bsdos"
+	"xok/internal/exos"
+	"xok/internal/httpd"
+	"xok/internal/ostest"
+	"xok/internal/sim"
+	"xok/internal/unix"
+	"xok/internal/workload"
+)
+
+// BootXok boots a Xok/ExOS machine with protection on (the paper's
+// measured configuration).
+func BootXok() *exos.System {
+	return exos.Boot(exos.Config{Protect: true})
+}
+
+// BootXokWith boots a Xok/ExOS machine with explicit options.
+func BootXokWith(cfg exos.Config) *exos.System { return exos.Boot(cfg) }
+
+// BootBSD boots one of the monolithic comparison systems.
+func BootBSD(v bsdos.Variant) *bsdos.System {
+	return bsdos.Boot(v, bsdos.Config{})
+}
+
+// RunFigure2 executes the I/O-intensive lcc-install workload (Table 1)
+// on the four systems of Figure 2, in the paper's order.
+func RunFigure2() ([]workload.IOResult, error) {
+	var out []workload.IOResult
+	for _, m := range workload.AllSystems() {
+		r, err := workload.IOIntensive(m)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// RunMAB executes the Modified Andrew Benchmark on the four systems.
+func RunMAB() ([]workload.MABResult, error) {
+	var out []workload.MABResult
+	for _, m := range workload.AllSystems() {
+		r, err := workload.MAB(m)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// RunProtectionCost executes the Section 6.3 experiment.
+func RunProtectionCost() (workload.ProtectionResult, error) {
+	return workload.ProtectionCost()
+}
+
+// Table2Row is one pipe implementation's latencies.
+type Table2Row struct {
+	Impl   string
+	Lat1B  sim.Time
+	Lat8KB sim.Time
+}
+
+// RunTable2 measures the three pipe implementations of Table 2:
+// shared-memory ExOS pipes, protected ExOS pipes (software regions +
+// wakeup predicates), and OpenBSD's in-kernel pipes.
+func RunTable2() ([]Table2Row, error) {
+	const rounds = 200
+	runner := func(sys interface {
+		Run()
+	}, spawn func(main func(unix.Proc))) ostest.RunFunc {
+		return func(main func(unix.Proc)) {
+			spawn(main)
+			sys.Run()
+		}
+	}
+
+	shared := exos.Boot(exos.Config{SharedMemPipes: true})
+	sharedRun := runner(shared, func(m func(unix.Proc)) { shared.Spawn("t", 0, m) })
+	prot := exos.Boot(exos.Config{})
+	protRun := runner(prot, func(m func(unix.Proc)) { prot.Spawn("t", 0, m) })
+	bsd := bsdos.Boot(bsdos.OpenBSD, bsdos.Config{})
+	bsdRun := runner(bsd, func(m func(unix.Proc)) { bsd.Spawn("t", 0, m) })
+
+	rows := []Table2Row{
+		{
+			Impl:   "Shared memory",
+			Lat1B:  ostest.PipeLatency(sharedRun, 1, rounds),
+			Lat8KB: ostest.PipeLatency(sharedRun, 8192, rounds),
+		},
+		{
+			Impl:   "Protection",
+			Lat1B:  ostest.PipeLatency(protRun, 1, rounds),
+			Lat8KB: ostest.PipeLatency(protRun, 8192, rounds),
+		},
+		{
+			Impl:   "OpenBSD",
+			Lat1B:  ostest.PipeLatency(bsdRun, 1, rounds),
+			Lat8KB: ostest.PipeLatency(bsdRun, 8192, rounds),
+		},
+	}
+	for _, r := range rows {
+		if r.Lat1B == 0 || r.Lat8KB == 0 {
+			return nil, fmt.Errorf("core: pipe measurement failed for %s", r.Impl)
+		}
+	}
+	return rows, nil
+}
+
+// RunFigure3 measures HTTP throughput for all five servers across the
+// document sizes of Figure 3.
+func RunFigure3(clients int, duration sim.Time) ([]httpd.Result, error) {
+	if clients == 0 {
+		clients = 24
+	}
+	if duration == 0 {
+		duration = 300 * sim.Millisecond
+	}
+	return httpd.Figure3(clients, duration)
+}
+
+// GlobalCell is one number/number cell of Figures 4 and 5.
+type GlobalCell struct {
+	TotalJobs int
+	MaxConc   int
+}
+
+// Figure45Cells are the paper's five cells: 7/1 .. 35/5.
+func Figure45Cells() []GlobalCell {
+	return []GlobalCell{{7, 1}, {14, 2}, {21, 3}, {28, 4}, {35, 5}}
+}
+
+// RunGlobal runs one global-performance cell on both Xok/ExOS and
+// FreeBSD (the figures' two systems), with the identical seed.
+func RunGlobal(pool []workload.JobKind, cell GlobalCell, seed uint64) (xok, fbsd workload.GlobalResult, err error) {
+	xok, err = workload.GlobalPerf(workload.NewXok(), pool, cell.TotalJobs, cell.MaxConc, seed)
+	if err != nil {
+		return
+	}
+	fbsd, err = workload.GlobalPerf(workload.NewBSD(bsdos.FreeBSD), pool, cell.TotalJobs, cell.MaxConc, seed)
+	return
+}
+
+// Pool1 re-exports Figure 4's job mix.
+func Pool1() []workload.JobKind { return workload.Pool1() }
+
+// Pool2 re-exports Figure 5's job mix.
+func Pool2() []workload.JobKind { return workload.Pool2() }

@@ -1,0 +1,359 @@
+// Package disk models the machine's SCSI disk: a Quantum Atlas
+// XP32150-like drive (7200 rpm, ~8 ms average seek, ~10 MB/s media
+// rate) behind an NCR 815-style controller with a driver queue.
+//
+// The model captures exactly the properties the paper's results depend
+// on:
+//
+//   - positional timing: a request pays controller overhead, a
+//     distance-dependent seek, half-rotation latency, and per-block
+//     transfer time — except that a request starting where the previous
+//     one ended is sequential and pays transfer time only. This is what
+//     rewards C-FFS's co-location and XCP's sorted schedules.
+//   - a driver queue with CSCAN ordering and contiguity detection:
+//     "if multiple instances of XCP run concurrently, the disk driver
+//     will merge the schedules" (Section 7.2).
+//   - DMA: data moves between disk and memory pages without consuming
+//     simulated CPU (the CPU cost of copies is charged by whoever
+//     touches the data, not by the disk).
+//
+// All completion is delivered through the event engine, so disk I/O is
+// fully deterministic.
+package disk
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"xok/internal/sim"
+)
+
+// BlockNo names a physical disk block (4 KB). Physical names are used
+// throughout — the exokernel way.
+type BlockNo int64
+
+// Request is one I/O: Count contiguous blocks starting at Block.
+// For reads, Pages receives the data; for writes, Pages supplies it.
+// Done fires at completion-interrupt time.
+type Request struct {
+	Write bool
+	Block BlockNo
+	Count int
+	Pages [][]byte // one 4-KB slice per block; may be nil (timing-only I/O)
+	Done  func(*Request)
+
+	queuedAt sim.Time
+}
+
+// spindle is one physical drive: its own head, queue and service
+// loop. A single-spindle Disk is the paper's configuration; striped
+// configurations (RAID-0, Section 4.6's "range of file systems ...
+// RAID") fan logical blocks across several spindles.
+type spindle struct {
+	head  BlockNo
+	busy  bool
+	queue []*Request
+}
+
+// Disk is the drive (or striped drive set) plus its driver queues.
+type Disk struct {
+	eng     *sim.Engine
+	stats   *sim.Stats
+	nblocks int64
+
+	spindles   []spindle
+	stripeUnit int64 // blocks per stripe unit (striped configs)
+
+	// FIFO disables the driver's CSCAN sorting and services requests
+	// in arrival order — an ablation knob for measuring what the
+	// scheduler is worth (cmd and bench ablations use it).
+	FIFO bool
+
+	store map[BlockNo][]byte // media contents, allocated lazily
+}
+
+// New returns a single-spindle disk with nblocks 4-KB blocks.
+func New(eng *sim.Engine, stats *sim.Stats, nblocks int64) *Disk {
+	return NewStriped(eng, stats, nblocks, 1, nblocks)
+}
+
+// NewStriped returns a RAID-0 set: nblocks of logical space striped
+// across n spindles in stripeUnit-block units. The logical block
+// interface is unchanged; requests are split at stripe boundaries and
+// serviced by the owning spindles in parallel.
+func NewStriped(eng *sim.Engine, stats *sim.Stats, nblocks int64, n int, stripeUnit int64) *Disk {
+	if n < 1 {
+		n = 1
+	}
+	if stripeUnit < 1 {
+		stripeUnit = 16
+	}
+	return &Disk{
+		eng:        eng,
+		stats:      stats,
+		nblocks:    nblocks,
+		spindles:   make([]spindle, n),
+		stripeUnit: stripeUnit,
+		store:      make(map[BlockNo][]byte),
+	}
+}
+
+// Spindles reports the number of physical drives in the set.
+func (d *Disk) Spindles() int { return len(d.spindles) }
+
+// spindleOf maps a logical block to its owning spindle.
+func (d *Disk) spindleOf(b BlockNo) int {
+	return int((int64(b) / d.stripeUnit) % int64(len(d.spindles)))
+}
+
+// physOf maps a logical block to its position on the owning spindle's
+// platter (consecutive stripe units interleave across spindles but are
+// contiguous within each one).
+func (d *Disk) physOf(b BlockNo) BlockNo {
+	n := int64(len(d.spindles))
+	return BlockNo((int64(b)/(d.stripeUnit*n))*d.stripeUnit + int64(b)%d.stripeUnit)
+}
+
+// NumBlocks returns the media size in blocks.
+func (d *Disk) NumBlocks() int64 { return d.nblocks }
+
+// QueueLen reports how many requests are waiting (excluding those in
+// service). Exposed information.
+func (d *Disk) QueueLen() int {
+	n := 0
+	for i := range d.spindles {
+		n += len(d.spindles[i].queue)
+	}
+	return n
+}
+
+// Submit queues a request. The driver sorts the queue CSCAN-style, so
+// large schedules submitted together are serviced in near-optimal
+// order.
+func (d *Disk) Submit(r *Request) {
+	if r.Count <= 0 {
+		panic("disk: request with non-positive count")
+	}
+	if r.Block < 0 || int64(r.Block)+int64(r.Count) > d.nblocks {
+		panic(fmt.Sprintf("disk: request [%d,+%d) outside media", r.Block, r.Count))
+	}
+	if r.Pages != nil && len(r.Pages) != r.Count {
+		panic("disk: Pages length does not match Count")
+	}
+	r.queuedAt = d.eng.Now()
+	if d.stats != nil {
+		if r.Write {
+			d.stats.Add(sim.CtrDiskWrites, int64(r.Count))
+		} else {
+			d.stats.Add(sim.CtrDiskReads, int64(r.Count))
+		}
+	}
+	// Split at stripe boundaries; each piece goes to its spindle. The
+	// original Done fires when the last piece completes.
+	pieces := d.split(r)
+	for _, pc := range pieces {
+		sp := &d.spindles[d.spindleOf(pc.Block)]
+		sp.queue = append(sp.queue, pc)
+		if !sp.busy {
+			d.startNext(sp)
+		}
+	}
+}
+
+// split cuts a request at stripe-unit boundaries, wiring a countdown
+// completion so the caller sees one Done.
+func (d *Disk) split(r *Request) []*Request {
+	if len(d.spindles) == 1 {
+		return []*Request{r}
+	}
+	var pieces []*Request
+	b := r.Block
+	remaining := r.Count
+	idx := 0
+	for remaining > 0 {
+		unitEnd := (int64(b)/d.stripeUnit + 1) * d.stripeUnit
+		n := int(unitEnd - int64(b))
+		if n > remaining {
+			n = remaining
+		}
+		var pages [][]byte
+		if r.Pages != nil {
+			pages = r.Pages[idx : idx+n]
+		}
+		pieces = append(pieces, &Request{
+			Write: r.Write, Block: b, Count: n, Pages: pages,
+			queuedAt: r.queuedAt,
+		})
+		b += BlockNo(n)
+		idx += n
+		remaining -= n
+	}
+	if len(pieces) == 1 {
+		pieces[0].Done = r.Done
+		return pieces
+	}
+	outstanding := len(pieces)
+	for _, pc := range pieces {
+		pc.Done = func(*Request) {
+			outstanding--
+			if outstanding == 0 && r.Done != nil {
+				r.Done(r)
+			}
+		}
+	}
+	return pieces
+}
+
+// pickNext removes and returns the CSCAN-next request for a spindle:
+// the lowest start block at or beyond the head, wrapping to the lowest
+// overall.
+func (d *Disk) pickNext(sp *spindle) *Request {
+	if len(sp.queue) == 0 {
+		return nil
+	}
+	if d.FIFO {
+		r := sp.queue[0]
+		sp.queue = sp.queue[1:]
+		return r
+	}
+	sort.SliceStable(sp.queue, func(i, j int) bool {
+		return sp.queue[i].Block < sp.queue[j].Block
+	})
+	idx := -1
+	for i, r := range sp.queue {
+		if r.Block >= sp.head {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 {
+		idx = 0 // wrap
+	}
+	r := sp.queue[idx]
+	sp.queue = append(sp.queue[:idx], sp.queue[idx+1:]...)
+	return r
+}
+
+// serviceTime computes the positional cost of r given a spindle's
+// head (positions in spindle-local physical space).
+func (d *Disk) serviceTime(sp *spindle, r *Request) sim.Time {
+	t := sim.DiskControllerOverhead
+	pos := d.physOf(r.Block)
+	if pos != sp.head {
+		dist := int64(pos - sp.head)
+		if dist < 0 {
+			dist = -dist
+		}
+		t += seekTime(dist, d.nblocks)
+		t += sim.DiskRotationPeriod / 2 // average rotational latency
+		if d.stats != nil {
+			d.stats.Inc(sim.CtrDiskSeeks)
+		}
+	}
+	t += sim.DiskTransferPerBlock * sim.Time(r.Count)
+	return t
+}
+
+// seekTime is the classic a + b*sqrt(distance) seek curve, calibrated
+// so the one-third-stroke seek is DiskSeekAvg.
+func seekTime(distBlocks, nblocks int64) sim.Time {
+	if distBlocks == 0 {
+		return 0
+	}
+	frac := math.Sqrt(float64(distBlocks) / (float64(nblocks) / 3))
+	if frac > 1.8 {
+		frac = 1.8 // full-stroke cap
+	}
+	return sim.DiskSeekMin + sim.Time(float64(sim.DiskSeekAvg-sim.DiskSeekMin)*frac)
+}
+
+func (d *Disk) startNext(sp *spindle) {
+	r := d.pickNext(sp)
+	if r == nil {
+		sp.busy = false
+		return
+	}
+	sp.busy = true
+	t := d.serviceTime(sp, r)
+	d.eng.After(t, func() { d.complete(sp, r) })
+}
+
+func (d *Disk) complete(sp *spindle, r *Request) {
+	// DMA the data at completion time.
+	for i := 0; i < r.Count; i++ {
+		b := r.Block + BlockNo(i)
+		if r.Write {
+			if r.Pages != nil {
+				blk := d.mediaBlock(b)
+				copy(blk, r.Pages[i])
+			}
+		} else if r.Pages != nil {
+			blk, ok := d.store[b]
+			if ok {
+				copy(r.Pages[i], blk)
+			} else {
+				for j := range r.Pages[i] {
+					r.Pages[i][j] = 0
+				}
+			}
+		}
+	}
+	sp.head = d.physOf(r.Block) + BlockNo(r.Count)
+	done := r.Done
+	d.startNext(sp) // keep the spindle busy before running the callback
+	if done != nil {
+		done(r)
+	}
+}
+
+func (d *Disk) mediaBlock(b BlockNo) []byte {
+	blk, ok := d.store[b]
+	if !ok {
+		blk = make([]byte, sim.DiskBlockSize)
+		d.store[b] = blk
+	}
+	return blk
+}
+
+// PeekBlock returns the media contents of block b without timing (test
+// and crash-recovery support; the "crashed machine's" disk is read this
+// way when simulating reboot).
+func (d *Disk) PeekBlock(b BlockNo) []byte {
+	out := make([]byte, sim.DiskBlockSize)
+	if blk, ok := d.store[b]; ok {
+		copy(out, blk)
+	}
+	return out
+}
+
+// PokeBlock writes media contents directly (mkfs-style initialization
+// without timing).
+func (d *Disk) PokeBlock(b BlockNo, data []byte) {
+	blk := d.mediaBlock(b)
+	copy(blk, data)
+}
+
+// Snapshot deep-copies the media contents at this instant. Requests
+// still in the driver queue are NOT reflected — exactly the state a
+// power failure would leave. Crash tests transplant the snapshot into
+// a fresh machine with Restore.
+func (d *Disk) Snapshot() map[BlockNo][]byte {
+	out := make(map[BlockNo][]byte, len(d.store))
+	for b, blk := range d.store {
+		cp := make([]byte, len(blk))
+		copy(cp, blk)
+		out[b] = cp
+	}
+	return out
+}
+
+// Restore replaces the media contents with a snapshot.
+func (d *Disk) Restore(snap map[BlockNo][]byte) {
+	d.store = make(map[BlockNo][]byte, len(snap))
+	for b, blk := range snap {
+		cp := make([]byte, len(blk))
+		copy(cp, blk)
+		d.store[b] = cp
+	}
+}

@@ -1,0 +1,106 @@
+package disk
+
+import (
+	"testing"
+
+	"xok/internal/sim"
+)
+
+func TestStripedRoundTrip(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewStriped(eng, sim.NewStats(), 1<<16, 4, 16)
+	if d.Spindles() != 4 {
+		t.Fatalf("spindles = %d", d.Spindles())
+	}
+	// A request spanning several stripe units must still behave as one
+	// logical I/O.
+	const n = 64 // 4 stripe units per spindle
+	wr := make([][]byte, n)
+	for i := range wr {
+		wr[i] = make([]byte, sim.DiskBlockSize)
+		wr[i][0] = byte(i)
+	}
+	done := 0
+	d.Submit(&Request{Write: true, Block: 100, Count: n, Pages: wr,
+		Done: func(*Request) { done++ }})
+	eng.Run()
+	if done != 1 {
+		t.Fatalf("write completions = %d, want exactly 1", done)
+	}
+	rd := make([][]byte, n)
+	for i := range rd {
+		rd[i] = make([]byte, sim.DiskBlockSize)
+	}
+	d.Submit(&Request{Block: 100, Count: n, Pages: rd,
+		Done: func(*Request) { done++ }})
+	eng.Run()
+	if done != 2 {
+		t.Fatalf("read completions = %d, want 2", done)
+	}
+	for i := range rd {
+		if rd[i][0] != byte(i) {
+			t.Fatalf("block %d corrupted across striping", i)
+		}
+	}
+}
+
+func TestStripingParallelism(t *testing.T) {
+	// A large sequential transfer should finish ~n times faster on an
+	// n-way stripe (transfer-time bound).
+	elapsed := func(spindles int) sim.Time {
+		eng := sim.NewEngine()
+		d := NewStriped(eng, sim.NewStats(), 1<<20, spindles, 16)
+		const blocks = 512
+		d.Submit(&Request{Block: 0, Count: blocks})
+		eng.Run()
+		return eng.Now()
+	}
+	one := elapsed(1)
+	four := elapsed(4)
+	speedup := float64(one) / float64(four)
+	if speedup < 2.5 {
+		t.Fatalf("4-way stripe speedup = %.2fx, want near 4x", speedup)
+	}
+}
+
+func TestStripingIndependentQueues(t *testing.T) {
+	// Requests to different spindles proceed concurrently; requests to
+	// the same spindle serialize.
+	sameSpindle := func() sim.Time {
+		eng := sim.NewEngine()
+		d := NewStriped(eng, sim.NewStats(), 1<<20, 4, 16)
+		// Blocks 0 and 64 both map to spindle 0 (64/16 = 4 % 4 = 0).
+		d.Submit(&Request{Block: 0, Count: 1})
+		d.Submit(&Request{Block: 64, Count: 1})
+		eng.Run()
+		return eng.Now()
+	}()
+	diffSpindle := func() sim.Time {
+		eng := sim.NewEngine()
+		d := NewStriped(eng, sim.NewStats(), 1<<20, 4, 16)
+		// Blocks 0 and 16 map to spindles 0 and 1.
+		d.Submit(&Request{Block: 0, Count: 1})
+		d.Submit(&Request{Block: 16, Count: 1})
+		eng.Run()
+		return eng.Now()
+	}()
+	if diffSpindle >= sameSpindle {
+		t.Fatalf("cross-spindle (%v) should beat same-spindle (%v)", diffSpindle, sameSpindle)
+	}
+}
+
+func TestSingleSpindleUnchanged(t *testing.T) {
+	// New() must behave exactly as before the striping refactor: one
+	// spindle, whole volume.
+	eng := sim.NewEngine()
+	d := New(eng, sim.NewStats(), 1000)
+	if d.Spindles() != 1 {
+		t.Fatalf("spindles = %d", d.Spindles())
+	}
+	done := false
+	d.Submit(&Request{Block: 999, Count: 1, Done: func(*Request) { done = true }})
+	eng.Run()
+	if !done {
+		t.Fatal("request never completed")
+	}
+}

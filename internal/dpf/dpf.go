@@ -1,0 +1,187 @@
+// Package dpf implements dynamic packet filters (Engler & Kaashoek,
+// SIGCOMM 1996), the mechanism Xok uses to multiplex the network:
+// "packet filters are downloaded code fragments used by applications to
+// claim incoming network packets. Because they are in the kernel, the
+// kernel can inspect them and verify that they do not steal packets
+// intended for other applications" (Section 9.3).
+//
+// A filter is a conjunction of (offset, width, value) comparisons over
+// the packet bytes. The engine keeps all installed filters merged, and:
+//
+//   - rejects a filter identical to an installed one (it would steal
+//     the same packets);
+//   - dispatches each packet to the most specific matching filter
+//     (longest comparison chain), which is how a TCP library claims
+//     its specific 4-tuple while a server's listen filter claims the
+//     rest of a port.
+package dpf
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Cmp is one comparison: width bytes at offset, big-endian (network
+// order), must equal Value after masking.
+type Cmp struct {
+	Offset int
+	Width  int // 1, 2, or 4
+	Mask   uint32
+	Value  uint32
+}
+
+// Filter is a conjunction of comparisons.
+type Filter struct {
+	Cmps []Cmp
+}
+
+// Eq8/Eq16/Eq32 are comparison constructors.
+func Eq8(off int, v uint8) Cmp   { return Cmp{off, 1, 0xFF, uint32(v)} }
+func Eq16(off int, v uint16) Cmp { return Cmp{off, 2, 0xFFFF, uint32(v)} }
+func Eq32(off int, v uint32) Cmp { return Cmp{off, 4, 0xFFFFFFFF, v} }
+
+// Match reports whether the filter accepts pkt. A comparison beyond
+// the packet's end fails.
+func (f *Filter) Match(pkt []byte) bool {
+	for _, c := range f.Cmps {
+		if !c.match(pkt) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c Cmp) match(pkt []byte) bool {
+	if c.Offset < 0 || c.Offset+c.Width > len(pkt) {
+		return false
+	}
+	var v uint32
+	switch c.Width {
+	case 1:
+		v = uint32(pkt[c.Offset])
+	case 2:
+		v = uint32(binary.BigEndian.Uint16(pkt[c.Offset:]))
+	case 4:
+		v = binary.BigEndian.Uint32(pkt[c.Offset:])
+	default:
+		return false
+	}
+	return v&c.Mask == c.Value&c.Mask
+}
+
+// normalize sorts comparisons for canonical equality checks.
+func (f *Filter) normalized() []Cmp {
+	out := append([]Cmp(nil), f.Cmps...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Offset != out[j].Offset {
+			return out[i].Offset < out[j].Offset
+		}
+		return out[i].Width < out[j].Width
+	})
+	return out
+}
+
+func sameFilter(a, b *Filter) bool {
+	na, nb := a.normalized(), b.normalized()
+	if len(na) != len(nb) {
+		return false
+	}
+	for i := range na {
+		if na[i] != nb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ID names an installed filter.
+type ID int
+
+// Engine holds the installed filters and dispatches packets.
+type Engine struct {
+	next    ID
+	entries map[ID]*entry
+}
+
+type entry struct {
+	f     *Filter
+	owner any
+}
+
+// Errors.
+var (
+	ErrDuplicate = errors.New("dpf: identical filter already installed")
+	ErrEmpty     = errors.New("dpf: filter with no comparisons")
+	ErrBadCmp    = errors.New("dpf: malformed comparison")
+	ErrUnknownID = errors.New("dpf: unknown filter id")
+)
+
+// NewEngine returns an empty filter engine.
+func NewEngine() *Engine {
+	return &Engine{entries: make(map[ID]*entry)}
+}
+
+// Insert verifies and installs a filter for owner (typically an
+// environment or a protocol control block). The verification mirrors
+// the kernel's anti-theft check: an exact duplicate of an installed
+// filter is rejected, because the kernel could not decide which
+// application the packet belongs to.
+func (e *Engine) Insert(f *Filter, owner any) (ID, error) {
+	if f == nil || len(f.Cmps) == 0 {
+		return 0, ErrEmpty
+	}
+	for _, c := range f.Cmps {
+		if c.Width != 1 && c.Width != 2 && c.Width != 4 {
+			return 0, fmt.Errorf("%w: width %d", ErrBadCmp, c.Width)
+		}
+		if c.Offset < 0 {
+			return 0, fmt.Errorf("%w: offset %d", ErrBadCmp, c.Offset)
+		}
+	}
+	for _, ent := range e.entries {
+		if sameFilter(ent.f, f) {
+			return 0, ErrDuplicate
+		}
+	}
+	id := e.next
+	e.next++
+	e.entries[id] = &entry{f: f, owner: owner}
+	return id, nil
+}
+
+// Remove uninstalls a filter.
+func (e *Engine) Remove(id ID) error {
+	if _, ok := e.entries[id]; !ok {
+		return ErrUnknownID
+	}
+	delete(e.entries, id)
+	return nil
+}
+
+// Len reports how many filters are installed.
+func (e *Engine) Len() int { return len(e.entries) }
+
+// Dispatch finds the owner for pkt: the matching filter with the most
+// comparisons (most specific) wins; ties break by lowest ID (oldest
+// installed) for determinism. Returns (nil, false) if no filter claims
+// the packet.
+func (e *Engine) Dispatch(pkt []byte) (owner any, ok bool) {
+	bestLen := -1
+	var bestID ID
+	var best *entry
+	for id, ent := range e.entries {
+		if !ent.f.Match(pkt) {
+			continue
+		}
+		n := len(ent.f.Cmps)
+		if n > bestLen || (n == bestLen && id < bestID) {
+			bestLen, bestID, best = n, id, ent
+		}
+	}
+	if best == nil {
+		return nil, false
+	}
+	return best.owner, true
+}

@@ -1,0 +1,128 @@
+package exos
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"xok/internal/cap"
+	"xok/internal/cffs"
+	"xok/internal/kernel"
+	"xok/internal/unix"
+)
+
+func TestMountTable(t *testing.T) {
+	s := Boot(Config{})
+	// Build a memory-based file system and mount it at /tmp
+	// (Section 5.2.1's mount table mapping directories across file
+	// systems).
+	var memfs *cffs.FS
+	s.K.Spawn("mktmp", func(e *kernel.Env) {
+		e.Creds = cap.UnixCreds(0)
+		var err error
+		memfs, err = cffs.Mkfs(e, s.X, "tmpfs", cffs.MemConfig())
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	s.Run()
+	s.Mount("/tmp", memfs)
+
+	s.Spawn("user", 0, func(p unix.Proc) {
+		// Files under /tmp land on the memfs; others on the root FS.
+		fd, err := p.Create("/tmp/scratch", 6)
+		if err != nil {
+			t.Errorf("create on mount: %v", err)
+			return
+		}
+		if _, err := p.Write(fd, []byte("temp data")); err != nil {
+			t.Error(err)
+			return
+		}
+		p.Close(fd)
+		fd2, err := p.Create("/persistent", 6)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.Close(fd2)
+
+		// The file is visible through the mount...
+		if _, err := p.Stat("/tmp/scratch"); err != nil {
+			t.Errorf("stat via mount: %v", err)
+		}
+		// ...lives on the memfs...
+		ents, err := p.Readdir("/tmp")
+		if err != nil || len(ents) != 1 || ents[0].Name != "scratch" {
+			t.Errorf("readdir mount root = %v, %v", ents, err)
+		}
+		// ...and not on the root file system.
+		rootEnts, err := p.Readdir("/")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for _, ent := range rootEnts {
+			if ent.Name == "scratch" {
+				t.Error("mounted file leaked onto the root FS")
+			}
+		}
+		// Cross-device rename is rejected.
+		if err := p.Rename("/tmp/scratch", "/stolen"); err == nil ||
+			!strings.Contains(err.Error(), "cross-device") {
+			t.Errorf("cross-device rename err = %v", err)
+		}
+	})
+	s.Run()
+
+	// Unmount: /tmp paths fall through to the root FS again.
+	s.Unmount("/tmp")
+	s.Spawn("after", 0, func(p unix.Proc) {
+		if _, err := p.Stat("/tmp/scratch"); !errors.Is(err, cffs.ErrNotFound) {
+			t.Errorf("after unmount, stat = %v, want ErrNotFound", err)
+		}
+	})
+	s.Run()
+}
+
+func TestLongestPrefixWins(t *testing.T) {
+	s := Boot(Config{})
+	var fsA, fsB *cffs.FS
+	s.K.Spawn("mk", func(e *kernel.Env) {
+		e.Creds = cap.UnixCreds(0)
+		var err error
+		if fsA, err = cffs.Mkfs(e, s.X, "a", cffs.MemConfig()); err != nil {
+			t.Error(err)
+			return
+		}
+		if fsB, err = cffs.Mkfs(e, s.X, "b", cffs.MemConfig()); err != nil {
+			t.Error(err)
+		}
+	})
+	s.Run()
+	s.Mount("/mnt", fsA)
+	s.Mount("/mnt/inner", fsB)
+
+	s.Spawn("user", 0, func(p unix.Proc) {
+		if fd, err := p.Create("/mnt/outer-file", 6); err != nil {
+			t.Error(err)
+		} else {
+			p.Close(fd)
+		}
+		if fd, err := p.Create("/mnt/inner/inner-file", 6); err != nil {
+			t.Error(err)
+		} else {
+			p.Close(fd)
+		}
+		// inner-file must be on fsB's root, not under fsA.
+		entsB, err := p.Readdir("/mnt/inner")
+		if err != nil || len(entsB) != 1 || entsB[0].Name != "inner-file" {
+			t.Errorf("inner mount readdir = %v, %v", entsB, err)
+		}
+		entsA, err := p.Readdir("/mnt")
+		if err != nil || len(entsA) != 1 || entsA[0].Name != "outer-file" {
+			t.Errorf("outer mount readdir = %v, %v", entsA, err)
+		}
+	})
+	s.Run()
+}

@@ -1,0 +1,105 @@
+package httpd
+
+import (
+	"testing"
+
+	"xok/internal/sim"
+)
+
+const testDuration = 300 * sim.Millisecond
+const testClients = 24
+
+func measure(t *testing.T, kind Kind, size int) Result {
+	t.Helper()
+	r, err := Measure(kind, size, testClients, testDuration)
+	if err != nil {
+		t.Fatalf("%v@%d: %v", kind, size, err)
+	}
+	if r.Requests == 0 {
+		t.Fatalf("%v@%d completed no requests", kind, size)
+	}
+	return r
+}
+
+func TestFigure3SmallDocumentOrdering(t *testing.T) {
+	// Figure 3 at small sizes: NCSA < {Harvest ~ Socket/BSD} <
+	// Socket/Xok < Cheetah, with Cheetah ~4x Socket/Xok and ~8x the
+	// best BSD server.
+	size := 1024
+	ncsa := measure(t, NCSABSd, size)
+	harvest := measure(t, HarvestBSD, size)
+	sockBSD := measure(t, SocketBSD, size)
+	sockXok := measure(t, SocketXok, size)
+	cheetah := measure(t, Cheetah, size)
+	for _, r := range []Result{ncsa, harvest, sockBSD, sockXok, cheetah} {
+		t.Logf("%-12s %6d B: %8.0f req/s  %6.1f MB/s  idle %4.1f%%  lat %v",
+			r.Server, r.DocSize, r.ReqPerSec, r.MBytesPerS, r.CPUIdle*100, r.MeanLat)
+	}
+	if !(ncsa.ReqPerSec < harvest.ReqPerSec && ncsa.ReqPerSec < sockBSD.ReqPerSec) {
+		t.Error("NCSA should be slowest (fork per request)")
+	}
+	if !(sockBSD.ReqPerSec < sockXok.ReqPerSec) {
+		t.Error("Socket/Xok should beat Socket/BSD")
+	}
+	xokGain := sockXok.ReqPerSec / sockBSD.ReqPerSec
+	if xokGain < 1.5 || xokGain > 2.6 {
+		t.Errorf("Socket/Xok gain = %.2fx, want 1.8-2x (paper: 80-100%%)", xokGain)
+	}
+	cheetahGain := cheetah.ReqPerSec / sockXok.ReqPerSec
+	if cheetahGain < 2.8 || cheetahGain > 6 {
+		t.Errorf("Cheetah/SocketXok = %.2fx, want ~4x", cheetahGain)
+	}
+	bestBSD := sockBSD.ReqPerSec
+	if harvest.ReqPerSec > bestBSD {
+		bestBSD = harvest.ReqPerSec
+	}
+	overall := cheetah.ReqPerSec / bestBSD
+	if overall < 5 || overall > 12 {
+		t.Errorf("Cheetah/bestBSD = %.2fx, want ~8x", overall)
+	}
+}
+
+func TestFigure3LargeDocuments(t *testing.T) {
+	// At 100 KB: sockets are CPU-bound around 16.5 MB/s; Cheetah is
+	// network-limited near 30 MB/s with substantial CPU idle.
+	sockXok := measure(t, SocketXok, 102400)
+	cheetah := measure(t, Cheetah, 102400)
+	t.Logf("Socket/Xok 100KB: %6.1f MB/s idle %4.1f%%", sockXok.MBytesPerS, sockXok.CPUIdle*100)
+	t.Logf("Cheetah    100KB: %6.1f MB/s idle %4.1f%%", cheetah.MBytesPerS, cheetah.CPUIdle*100)
+	if sockXok.MBytesPerS < 10 || sockXok.MBytesPerS > 24 {
+		t.Errorf("Socket/Xok = %.1f MB/s, want ~16.5", sockXok.MBytesPerS)
+	}
+	if cheetah.MBytesPerS < 25 || cheetah.MBytesPerS > 38 {
+		t.Errorf("Cheetah = %.1f MB/s, want ~29-35 (network-limited)", cheetah.MBytesPerS)
+	}
+	if sockXok.CPUIdle > 0.1 {
+		t.Errorf("Socket/Xok idle = %.0f%%, should be CPU-bound", sockXok.CPUIdle*100)
+	}
+	if cheetah.CPUIdle < 0.25 {
+		t.Errorf("Cheetah idle = %.0f%%, paper reports >30%% idle", cheetah.CPUIdle*100)
+	}
+	if cheetah.MBytesPerS < 1.7*sockXok.MBytesPerS {
+		t.Errorf("Cheetah (%.1f) should be ~1.8x Socket/Xok (%.1f) at 100KB",
+			cheetah.MBytesPerS, sockXok.MBytesPerS)
+	}
+}
+
+func TestThroughputScalesDownWithSize(t *testing.T) {
+	small := measure(t, Cheetah, 0)
+	large := measure(t, Cheetah, 102400)
+	if small.ReqPerSec <= large.ReqPerSec {
+		t.Errorf("0B (%0.f/s) should beat 100KB (%0.f/s) in req/s",
+			small.ReqPerSec, large.ReqPerSec)
+	}
+	if large.MBytesPerS <= small.MBytesPerS {
+		t.Error("100KB should beat 0B in MB/s")
+	}
+}
+
+func TestDeterministicMeasurement(t *testing.T) {
+	a := measure(t, SocketXok, 1024)
+	b := measure(t, SocketXok, 1024)
+	if a.Requests != b.Requests || a.MeanLat != b.MeanLat {
+		t.Errorf("nondeterministic: %+v vs %+v", a, b)
+	}
+}

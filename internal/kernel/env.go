@@ -1,0 +1,214 @@
+package kernel
+
+import (
+	"errors"
+
+	"xok/internal/cap"
+	"xok/internal/mem"
+	"xok/internal/sim"
+	"xok/internal/wkpred"
+)
+
+// EnvID names an environment. ExOS maps UNIX pids to environment
+// numbers through a shared table (Section 5.2.1).
+type EnvID int
+
+type envState uint8
+
+const (
+	envRunnable envState = iota
+	envRunning
+	envBlocked
+	envDead
+)
+
+// errKilled poisons an environment goroutine during Shutdown.
+var errKilled = errors.New("kernel: environment killed")
+
+// Env is one environment: "the hardware-specific state needed to run a
+// process ... and to respond to any event occurring during process
+// execution" (Section 5.1). Its exported methods are the interface
+// environment code uses while it holds the execution token; they must
+// only be called from within the environment's own body function.
+type Env struct {
+	k     *Kernel
+	id    EnvID
+	name  string
+	state envState
+
+	// Creds are the capabilities this environment presents on system
+	// calls. Exported state, set by the libOS at process setup.
+	Creds cap.Credentials
+
+	// PT is the environment's page table (mutated via system calls on
+	// x86, Section 5.1).
+	PT *mem.PageTable
+
+	resume    chan bool
+	burst     sim.Time // CPU cycles owed before code continues
+	cpuUsed   sim.Time // lifetime CPU consumed (accounting)
+	sliceLeft sim.Time
+	pred      *wkpred.Pred
+	timeout   *sim.Event
+
+	inCritical bool
+	exitWait   []*Env // environments waiting for this one to exit
+
+	ipcQ []IPCMsg
+
+	// Local is scratch space for the libOS running in this environment
+	// (ExOS hangs its per-process state here).
+	Local any
+}
+
+// ID returns the environment number.
+func (e *Env) ID() EnvID { return e.id }
+
+// Name returns the spawn label (debugging aid).
+func (e *Env) Name() string { return e.name }
+
+// Kernel returns the kernel this environment runs on.
+func (e *Env) Kernel() *Kernel { return e.k }
+
+// Dead reports whether the environment has exited.
+func (e *Env) Dead() bool { return e.state == envDead }
+
+// CPUUsed reports the total CPU cycles this environment has consumed
+// (exposed information; the HTTP experiments derive server idle time
+// from it).
+func (e *Env) CPUUsed() sim.Time { return e.cpuUsed }
+
+// park hands the token to the scheduler and blocks until resumed.
+func (e *Env) park(msg parkMsg) {
+	e.k.parkCh <- msg
+	if msg.kind == parkExit {
+		return // scheduler never resumes an exited environment
+	}
+	if !<-e.resume {
+		panic(errKilled)
+	}
+}
+
+// Use charges c cycles of CPU to this environment. The scheduler burns
+// them in quantum slices, interleaved with other runnable
+// environments; the call returns when they have elapsed.
+func (e *Env) Use(c sim.Time) {
+	if c == 0 {
+		return
+	}
+	e.park(parkMsg{env: e, kind: parkUse, n: c})
+}
+
+// Syscall charges one kernel crossing plus the in-kernel work cost.
+func (e *Env) Syscall(work sim.Time) {
+	e.k.Stats.Inc(sim.CtrSyscalls)
+	e.Use(e.k.cfg.TrapCost + work)
+}
+
+// Syscalls charges n kernel crossings with no work (used to model the
+// protection calls inserted before shared-state writes, Section 6.3).
+func (e *Env) Syscalls(n int) {
+	e.k.Stats.Add(sim.CtrSyscalls, int64(n))
+	e.Use(sim.Time(n) * e.k.cfg.TrapCost)
+}
+
+// LibCall charges a protected procedure call into a libOS plus work.
+func (e *Env) LibCall(work sim.Time) {
+	e.k.Stats.Inc(sim.CtrLibCalls)
+	e.Use(sim.CostLibCall + work)
+}
+
+// Block parks the environment until another environment or a device
+// handler calls Wake.
+func (e *Env) Block() {
+	e.park(parkMsg{env: e, kind: parkBlock})
+}
+
+// SleepOn downloads a wakeup predicate and parks. The kernel evaluates
+// the predicate whenever the environment is about to be scheduled
+// (Section 5.1). deadline, if non-zero, is a hint: the kernel will run
+// a dispatch pass at that time even if the machine is otherwise idle
+// (predicates that compare against the clock need this to fire).
+func (e *Env) SleepOn(p *wkpred.Pred, deadline sim.Time) {
+	e.pred = p
+	e.Use(p.Cost()) // downloading/compiling the predicate
+	if deadline > 0 {
+		d := deadline
+		e.timeout = e.k.Eng.At(d, func() {
+			e.timeout = nil
+			e.k.kickDispatch()
+		})
+	}
+	e.park(parkMsg{env: e, kind: parkBlock})
+}
+
+// Wake makes target runnable. Callable from device completion handlers
+// and from other environments' code (both hold the token).
+func (k *Kernel) Wake(target *Env) {
+	if target == nil || target.state != envBlocked {
+		return
+	}
+	k.makeRunnable(target)
+}
+
+// YieldTo gives up the CPU in favor of target (directed yield,
+// Section 5.2.1: pipes yield to the other party when it must do work).
+// A nil target is an undirected yield to the end of the run queue.
+func (e *Env) YieldTo(target *Env) {
+	e.k.Wake(target)
+	e.park(parkMsg{env: e, kind: parkYieldTo, to: target})
+}
+
+// WaitFor blocks until target exits. Returns immediately if it is
+// already dead. Robust against spurious wakeups.
+func (e *Env) WaitFor(target *Env) {
+	for target != nil && target.state != envDead {
+		target.exitWait = append(target.exitWait, e)
+		e.park(parkMsg{env: e, kind: parkBlock})
+	}
+}
+
+// WaitAnyOf blocks until at least one of the targets exits (the
+// workload launcher's wait-any). Returns immediately if any target is
+// already dead or the list is empty.
+func (e *Env) WaitAnyOf(targets []*Env) {
+	for {
+		if len(targets) == 0 {
+			return
+		}
+		for _, t := range targets {
+			if t == nil || t.state == envDead {
+				return
+			}
+		}
+		for _, t := range targets {
+			t.exitWait = append(t.exitWait, e)
+		}
+		e.park(parkMsg{env: e, kind: parkBlock})
+	}
+}
+
+// BeginCritical enters a robust critical section by disabling software
+// interrupts (Section 3.3: "inexpensive critical sections ...
+// eliminates the need to trust other processes"). While in a critical
+// section the environment is not preempted at slice end.
+func (e *Env) BeginCritical() {
+	e.inCritical = true
+	e.Use(20) // disable software interrupts: a couple of stores
+}
+
+// EndCritical leaves the critical section.
+func (e *Env) EndCritical() {
+	e.inCritical = false
+	e.Use(20)
+}
+
+// Sleep parks until the given virtual duration elapses.
+func (e *Env) Sleep(d sim.Time) {
+	target := e.k.Eng.Now() + d
+	e.timeout = e.k.Eng.At(target, func() {
+		e.timeout = nil
+		e.k.makeRunnable(e)
+	})
+	e.park(parkMsg{env: e, kind: parkBlock})
+}

@@ -1,0 +1,59 @@
+package kernel
+
+import (
+	"errors"
+
+	"xok/internal/sim"
+)
+
+// Xok IPC: a small protected message facility between environments.
+// ExOS layers UNIX signals on it and uses it "to safely update parent
+// and child process state" (Section 5.2.1).
+
+// IPCMsg is one message.
+type IPCMsg struct {
+	From EnvID
+	Kind int
+	A, B int64
+}
+
+// ErrIPCDead reports a send to an exited environment.
+var ErrIPCDead = errors.New("kernel: IPC target is dead")
+
+// IPCSend enqueues a message for target and wakes it if it is blocked.
+// One system call.
+func (e *Env) IPCSend(target *Env, m IPCMsg) error {
+	e.Syscall(sim.CopyCost(24))
+	if target == nil || target.state == envDead {
+		return ErrIPCDead
+	}
+	m.From = e.id
+	target.ipcQ = append(target.ipcQ, m)
+	e.k.Wake(target)
+	return nil
+}
+
+// IPCTryRecv dequeues the next pending message without blocking.
+func (e *Env) IPCTryRecv() (IPCMsg, bool) {
+	e.Syscall(sim.CopyCost(24))
+	if len(e.ipcQ) == 0 {
+		return IPCMsg{}, false
+	}
+	m := e.ipcQ[0]
+	e.ipcQ = e.ipcQ[1:]
+	return m, true
+}
+
+// IPCRecv blocks until a message arrives, then dequeues it.
+func (e *Env) IPCRecv() IPCMsg {
+	for {
+		if m, ok := e.IPCTryRecv(); ok {
+			return m
+		}
+		e.Block()
+	}
+}
+
+// IPCPending reports queued messages without a trap (the queue head
+// lives in exposed memory).
+func (e *Env) IPCPending() int { return len(e.ipcQ) }

@@ -1,0 +1,381 @@
+// Package kernel implements the simulated Xok exokernel: environments
+// (the hardware-specific state needed to run a process, Section 5.1),
+// a round-robin time-sliced CPU scheduler with explicit slice
+// start/end upcalls, directed yields, wakeup-predicate sleeping,
+// software regions, robust critical sections, and IPC.
+//
+// # Execution model
+//
+// Each environment's code runs in its own goroutine, but the simulation
+// enforces strict token handoff: exactly one goroutine — either the
+// event loop or the current environment — runs at a time. An
+// environment's code executes in zero virtual time except where it
+// explicitly charges cycles (Env.Use and the syscall helpers); charged
+// cycles are burned by the scheduler in quantum-sized slices
+// interleaved round-robin with other runnable environments, so CPU
+// contention, context-switch overhead and time-slice preemption are
+// modelled faithfully and deterministically.
+//
+// The same Kernel type also serves as the substrate for the monolithic
+// BSD personalities (internal/bsdos): Config selects the trap cost and
+// scheduling quantum, while the OS personalities built on top decide
+// what work happens in "the kernel" (traps) versus libraries.
+package kernel
+
+import (
+	"fmt"
+
+	"xok/internal/disk"
+	"xok/internal/mem"
+	"xok/internal/sim"
+)
+
+// Config parameterizes a machine's kernel.
+type Config struct {
+	Name     string   // "xok", "freebsd", "openbsd", ...
+	TrapCost sim.Time // one kernel crossing (trap + return)
+	Quantum  sim.Time // scheduler time slice
+	MemPages int      // physical memory size in pages
+	DiskSize int64    // disk size in blocks (0 = no disk)
+
+	// Spindles > 1 builds the disk as a RAID-0 stripe set
+	// (StripeUnit blocks per unit; default 16).
+	Spindles   int
+	StripeUnit int64
+}
+
+// DefaultQuantum is a 10-ms scheduler slice.
+const DefaultQuantum = 10 * sim.Millisecond
+
+// Kernel is one simulated machine's privileged core.
+type Kernel struct {
+	Eng   *sim.Engine
+	Stats *sim.Stats
+	Mem   *mem.PhysMem
+	Disk  *disk.Disk
+
+	cfg     Config
+	nextEnv EnvID
+	envs    map[EnvID]*Env
+	runq    []*Env // runnable, round-robin order
+	current *Env
+	sleeprs []*Env // predicate sleepers, in sleep order
+
+	dispatchPending bool
+	parkCh          chan parkMsg
+	liveEnvs        int
+
+	regions    map[RegionID]*region
+	nextRegion RegionID
+}
+
+// New builds a machine: engine, stats, memory, optional disk, kernel.
+func New(cfg Config) *Kernel {
+	if cfg.TrapCost == 0 {
+		cfg.TrapCost = sim.CostTrapXok
+	}
+	if cfg.Quantum == 0 {
+		cfg.Quantum = DefaultQuantum
+	}
+	if cfg.MemPages == 0 {
+		cfg.MemPages = 16384 // 64 MB
+	}
+	eng := sim.NewEngine()
+	st := sim.NewStats()
+	k := &Kernel{
+		Eng:     eng,
+		Stats:   st,
+		Mem:     mem.New(cfg.MemPages, st),
+		cfg:     cfg,
+		envs:    make(map[EnvID]*Env),
+		parkCh:  make(chan parkMsg),
+		regions: make(map[RegionID]*region),
+	}
+	if cfg.DiskSize > 0 {
+		if cfg.Spindles > 1 {
+			unit := cfg.StripeUnit
+			if unit == 0 {
+				unit = 16
+			}
+			k.Disk = disk.NewStriped(eng, st, cfg.DiskSize, cfg.Spindles, unit)
+		} else {
+			k.Disk = disk.New(eng, st, cfg.DiskSize)
+		}
+	}
+	return k
+}
+
+// Config returns the kernel's configuration.
+func (k *Kernel) Config() Config { return k.cfg }
+
+// TrapCost returns one kernel-crossing cost for this machine.
+func (k *Kernel) TrapCost() sim.Time { return k.cfg.TrapCost }
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() sim.Time { return k.Eng.Now() }
+
+// parkMsg is what an environment's goroutine sends when it hands the
+// token back to the scheduler.
+type parkMsg struct {
+	env  *Env
+	kind parkKind
+	n    sim.Time // useCPU: cycles requested
+	to   *Env     // yieldTo target
+}
+
+type parkKind uint8
+
+const (
+	parkUse parkKind = iota
+	parkBlock
+	parkYieldTo
+	parkExit
+)
+
+// Spawn creates an environment running body and makes it runnable.
+// The body executes in its own goroutine under the token protocol; it
+// may only touch kernel state between Spawn and its return.
+func (k *Kernel) Spawn(name string, body func(*Env)) *Env {
+	e := &Env{
+		k:      k,
+		id:     k.nextEnv,
+		name:   name,
+		state:  envBlocked, // makeRunnable queues it below
+		resume: make(chan bool),
+		PT:     mem.NewPageTable(),
+	}
+	k.nextEnv++
+	k.envs[e.id] = e
+	k.liveEnvs++
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if r == errKilled {
+					return // Shutdown poisoned us; die silently.
+				}
+				panic(r)
+			}
+		}()
+		if !<-e.resume {
+			panic(errKilled)
+		}
+		body(e)
+		e.park(parkMsg{env: e, kind: parkExit})
+	}()
+	k.makeRunnable(e)
+	return e
+}
+
+// Env returns the environment with the given id, or nil.
+func (k *Kernel) Env(id EnvID) *Env { return k.envs[id] }
+
+// LiveEnvs reports how many environments have not exited.
+func (k *Kernel) LiveEnvs() int { return k.liveEnvs }
+
+func (k *Kernel) makeRunnable(e *Env) {
+	if e.state == envDead {
+		return
+	}
+	if e.state == envRunnable || e.state == envRunning {
+		return
+	}
+	e.state = envRunnable
+	e.pred = nil
+	if e.timeout != nil {
+		k.Eng.Cancel(e.timeout)
+		e.timeout = nil
+	}
+	// Remove from sleepers if present.
+	for i, s := range k.sleeprs {
+		if s == e {
+			k.sleeprs = append(k.sleeprs[:i], k.sleeprs[i+1:]...)
+			break
+		}
+	}
+	k.runq = append(k.runq, e)
+	k.kickDispatch()
+}
+
+// kickDispatch arranges for a dispatch pass if the CPU is idle.
+func (k *Kernel) kickDispatch() {
+	if k.current != nil || k.dispatchPending {
+		return
+	}
+	k.dispatchPending = true
+	k.Eng.At(k.Eng.Now(), func() {
+		k.dispatchPending = false
+		k.dispatch()
+	})
+}
+
+// dispatch is the scheduler: wake satisfied predicate sleepers, then
+// run the next environment.
+func (k *Kernel) dispatch() {
+	if k.current != nil {
+		return
+	}
+	k.scanSleepers()
+	if len(k.runq) == 0 {
+		return
+	}
+	e := k.runq[0]
+	k.runq = k.runq[1:]
+	k.current = e
+	e.state = envRunning
+	e.sliceLeft = k.cfg.Quantum
+	// Slice-start notification upcall (Section 5.1: "explicit
+	// notification of the beginning and the end of a time slice").
+	k.Stats.Inc(sim.CtrUpcalls)
+	e.burst += sim.CostUpcall
+	k.step(e)
+}
+
+// scanSleepers evaluates wakeup predicates "when an environment is
+// about to be scheduled" and moves satisfied sleepers to the run
+// queue.
+func (k *Kernel) scanSleepers() {
+	now := k.Eng.Now()
+	for i := 0; i < len(k.sleeprs); {
+		e := k.sleeprs[i]
+		if e.pred == nil {
+			i++
+			continue
+		}
+		k.Stats.Inc(sim.CtrPredEvals)
+		if e.pred.Eval(now) {
+			// makeRunnable removes it from sleeprs; don't advance i.
+			k.makeRunnable(e)
+			continue
+		}
+		i++
+	}
+}
+
+// step advances the current environment: burn owed CPU in slice-sized
+// pieces, then resume its code.
+func (k *Kernel) step(e *Env) {
+	if e != k.current {
+		return
+	}
+	if e.burst > 0 {
+		grant := e.burst
+		if !e.inCritical && grant > e.sliceLeft {
+			grant = e.sliceLeft
+		}
+		if grant == 0 { // slice expired with work left
+			k.rotate(e)
+			return
+		}
+		k.Eng.After(grant, func() {
+			e.burst -= grant
+			e.cpuUsed += grant
+			if e.sliceLeft >= grant {
+				e.sliceLeft -= grant
+			} else {
+				e.sliceLeft = 0
+			}
+			k.step(e)
+		})
+		return
+	}
+	if e.sliceLeft == 0 && !e.inCritical {
+		k.rotate(e)
+		return
+	}
+	k.resume(e)
+}
+
+// rotate preempts e at end of slice: slice-end upcall, context switch,
+// requeue.
+func (k *Kernel) rotate(e *Env) {
+	k.Stats.Inc(sim.CtrUpcalls)
+	k.Stats.Inc(sim.CtrCtxSwitches)
+	k.current = nil
+	e.state = envRunnable
+	k.runq = append(k.runq, e)
+	k.Eng.After(sim.CostContextSwitch+sim.CostUpcall, func() { k.dispatch() })
+}
+
+// resume hands the token to e's goroutine and processes the park
+// message it eventually sends back.
+func (k *Kernel) resume(e *Env) {
+	e.resume <- true
+	msg := <-k.parkCh
+	k.handlePark(msg)
+}
+
+func (k *Kernel) handlePark(msg parkMsg) {
+	e := msg.env
+	switch msg.kind {
+	case parkUse:
+		e.burst += msg.n
+		k.step(e)
+	case parkBlock:
+		k.current = nil
+		e.state = envBlocked
+		if e.pred != nil {
+			k.sleeprs = append(k.sleeprs, e)
+		}
+		k.Stats.Inc(sim.CtrCtxSwitches)
+		k.Eng.After(sim.CostContextSwitch, func() { k.dispatch() })
+	case parkYieldTo:
+		k.current = nil
+		e.state = envRunnable
+		k.runq = append(k.runq, e)
+		if msg.to != nil && msg.to.state == envRunnable {
+			// Move the yield target to the head of the queue.
+			for i, r := range k.runq {
+				if r == msg.to {
+					copy(k.runq[1:i+1], k.runq[:i])
+					k.runq[0] = msg.to
+					break
+				}
+			}
+		}
+		k.Eng.After(sim.CostYieldDirected, func() { k.dispatch() })
+	case parkExit:
+		k.current = nil
+		e.state = envDead
+		k.liveEnvs--
+		delete(k.envs, e.id)
+		if e.exitWait != nil {
+			for _, w := range e.exitWait {
+				k.makeRunnable(w)
+			}
+			e.exitWait = nil
+		}
+		k.Eng.After(sim.CostContextSwitch, func() { k.dispatch() })
+	}
+}
+
+// Run processes events until the machine is idle (no events pending;
+// all environments either exited or blocked forever).
+func (k *Kernel) Run() { k.Eng.Run() }
+
+// RunUntil processes events until time t.
+func (k *Kernel) RunUntil(t sim.Time) { k.Eng.RunUntil(t) }
+
+// Shutdown kills every live environment goroutine. Call when a test or
+// benchmark finishes with environments still blocked.
+func (k *Kernel) Shutdown() {
+	for _, e := range k.envs {
+		if e.state != envDead && e.state != envRunning {
+			e.state = envDead
+			e.resume <- false
+		}
+	}
+}
+
+// ChargeInterrupt accounts interrupt CPU time: if an environment is
+// running, the interrupt steals cycles from it; otherwise the CPU was
+// idle and the cost vanishes into idle time.
+func (k *Kernel) ChargeInterrupt(c sim.Time) {
+	if k.current != nil {
+		k.current.burst += c
+	}
+}
+
+// String identifies the kernel.
+func (k *Kernel) String() string {
+	return fmt.Sprintf("kernel(%s)", k.cfg.Name)
+}

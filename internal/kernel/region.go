@@ -1,0 +1,103 @@
+package kernel
+
+import (
+	"errors"
+
+	"xok/internal/cap"
+	"xok/internal/sim"
+)
+
+// Software regions (Section 3.3): "areas of memory that can only be
+// read or written through system calls, provide sub-page protection and
+// fault isolation". ExOS uses them to protect pipe buffers and (in its
+// planned fully-protected mode) the shared UNIX tables.
+
+// RegionID names a software region.
+type RegionID int
+
+type region struct {
+	data  []byte
+	guard cap.Capability
+}
+
+// Region errors.
+var (
+	ErrRegionUnknown = errors.New("kernel: unknown software region")
+	ErrRegionDenied  = errors.New("kernel: region capability check failed")
+	ErrRegionBounds  = errors.New("kernel: region access out of bounds")
+)
+
+// RegionCreate allocates a software region of size bytes guarded by
+// guard. Charged as one system call.
+func (e *Env) RegionCreate(size int, guard cap.Capability) RegionID {
+	k := e.k
+	id := k.nextRegion
+	k.nextRegion++
+	k.regions[id] = &region{data: make([]byte, size), guard: guard}
+	e.Syscall(sim.Time(size) / 64) // zeroing, amortized
+	return id
+}
+
+// RegionWrite copies buf into the region at off. The copy runs inside
+// the kernel: one trap plus the copy cost, after a capability check.
+func (e *Env) RegionWrite(id RegionID, off int, buf []byte) error {
+	k := e.k
+	r, ok := k.regions[id]
+	e.Syscall(sim.CopyCost(len(buf)))
+	if !ok {
+		return ErrRegionUnknown
+	}
+	if !e.Creds.Grants(r.guard, true) {
+		return ErrRegionDenied
+	}
+	if off < 0 || off+len(buf) > len(r.data) {
+		return ErrRegionBounds
+	}
+	copy(r.data[off:], buf)
+	k.Stats.Add(sim.CtrBytesCopied, int64(len(buf)))
+	return nil
+}
+
+// RegionRead copies from the region at off into buf.
+func (e *Env) RegionRead(id RegionID, off int, buf []byte) error {
+	k := e.k
+	r, ok := k.regions[id]
+	e.Syscall(sim.CopyCost(len(buf)))
+	if !ok {
+		return ErrRegionUnknown
+	}
+	if !e.Creds.Grants(r.guard, false) {
+		return ErrRegionDenied
+	}
+	if off < 0 || off+len(buf) > len(r.data) {
+		return ErrRegionBounds
+	}
+	copy(buf, r.data[off:])
+	k.Stats.Add(sim.CtrBytesCopied, int64(len(buf)))
+	return nil
+}
+
+// RegionFree releases a region.
+func (e *Env) RegionFree(id RegionID) error {
+	k := e.k
+	r, ok := k.regions[id]
+	e.Syscall(0)
+	if !ok {
+		return ErrRegionUnknown
+	}
+	if !e.Creds.Grants(r.guard, true) {
+		return ErrRegionDenied
+	}
+	delete(k.regions, id)
+	return nil
+}
+
+// RegionSize returns a region's size without charging time (exposed
+// information; tests use it too).
+func (k *Kernel) RegionSize(id RegionID) (int, error) {
+	r, ok := k.regions[id]
+	if !ok {
+		return 0, ErrRegionUnknown
+	}
+	return len(r.data), nil
+}

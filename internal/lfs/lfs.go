@@ -1,0 +1,656 @@
+// Package lfs implements a log-structured file system over XN — one of
+// the "range of file systems (log-structured file systems, RAID, and
+// memory-based file systems)" Section 4.6 names as the test of
+// "if the XN interface is powerful enough to support concurrent use by
+// radically different file systems". Its on-disk structure shares
+// nothing with C-FFS:
+//
+//	checkpoint block ("lfs.ckpt", the XN root):
+//	    off  0: u32 magic
+//	    off  4: u32 nImap
+//	    off  8: u64 tail hint
+//	    off 16: nImap x u64 imap block pointers
+//	imap block ("lfs.imap"):
+//	    off 0: u32 highest-used-slot+1
+//	    off 8: slots of u64 inode-block pointers (0 = free slot)
+//	inode block ("lfs.inode"), one file per block:
+//	    off  0: u8 used, u8 nameLen, pad
+//	    off  4: name[60]
+//	    off 64: u32 size, u32 nExt
+//	    off 72: nExt x {u64 start, u32 count, u32 pad}
+//	data blocks ("lfs.data"): opaque
+//
+// All writes are out of place: updating a file allocates fresh data
+// blocks and a fresh inode block at the log tail, then swaps the imap
+// slot from the old inode to the new one with XN's atomic Replace.
+// A simple cleaner compacts a disk region by re-logging the live files
+// inside it.
+package lfs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"xok/internal/disk"
+	"xok/internal/kernel"
+	"xok/internal/sim"
+	"xok/internal/udf"
+	"xok/internal/xn"
+)
+
+// Format constants.
+const (
+	Magic = 0x1F5
+
+	ckptImapOff = 16
+	maxImaps    = 64
+
+	imapSlotsOff = 8
+	imapSlots    = 500
+
+	inoUsed    = 0
+	inoNameLen = 1
+	inoName    = 4
+	inoSize    = 64
+	inoNExt    = 68
+	inoExts    = 72
+	inoExtSize = 16
+	maxExts    = 16
+
+	maxName = 60
+)
+
+// Errors.
+var (
+	ErrNotFound = errors.New("lfs: no such file")
+	ErrNameLen  = errors.New("lfs: name too long")
+	ErrFull     = errors.New("lfs: imap full")
+	ErrTooBig   = errors.New("lfs: file exceeds extent table")
+)
+
+// FS is one mounted log-structured file system.
+type FS struct {
+	X    *xn.XN
+	Name string
+
+	Ckpt  disk.BlockNo
+	CkptT xn.TemplateID
+	ImapT xn.TemplateID
+	InoT  xn.TemplateID
+	DataT xn.TemplateID
+
+	imap disk.BlockNo // single imap block (500 files)
+	tail disk.BlockNo // log tail cursor
+
+	// files caches name -> imap slot (rebuilt on attach).
+	files map[string]int
+}
+
+// UDF sources. The checkpoint owns the imap blocks; an imap owns the
+// inode blocks in its slots; an inode owns its data extents.
+func ckptOwnsSource(imapT int64) string {
+	return fmt.Sprintf(`
+	li   r0, 0
+	ldw  r1, r0, 4      ; nImap
+	li   r2, 0
+	li   r3, %d         ; pointer offset
+loop:
+	bge  r2, r1, done
+	ldq  r4, r3, 0
+	li   r5, 1
+	li   r6, %d
+	emit r4, r5, r6
+	addi r3, r3, 8
+	addi r2, r2, 1
+	jmp  loop
+done:
+	li   r0, 0
+	ret  r0
+`, ckptImapOff, imapT)
+}
+
+func imapOwnsSource(inoT int64) string {
+	return fmt.Sprintf(`
+	li   r0, 0
+	ldw  r1, r0, 0      ; bound
+	li   r2, 0
+	li   r3, %d
+loop:
+	bge  r2, r1, done
+	ldq  r4, r3, 0
+	li   r5, 0
+	beq  r4, r5, next   ; empty slot
+	li   r5, 1
+	li   r6, %d
+	emit r4, r5, r6
+next:
+	addi r3, r3, 8
+	addi r2, r2, 1
+	jmp  loop
+done:
+	li   r0, 0
+	ret  r0
+`, imapSlotsOff, inoT)
+}
+
+func inoOwnsSource(dataT int64) string {
+	return fmt.Sprintf(`
+	li   r0, 0
+	ldw  r1, r0, %d     ; nExt
+	li   r2, 0
+	li   r3, %d
+loop:
+	bge  r2, r1, done
+	ldq  r4, r3, 0
+	ldw  r5, r3, 8
+	li   r6, %d
+	emit r4, r5, r6
+	addi r3, r3, %d
+	addi r2, r2, 1
+	jmp  loop
+done:
+	li   r0, 0
+	ret  r0
+`, inoNExt, inoExts, dataT, inoExtSize)
+}
+
+const approveAll = "li r0, 1\nret r0"
+const ownsNothing = "li r0, 0\nret r0"
+const blockSize = "li r0, 4096\nret r0"
+
+func asm(name, src string) *udf.Program { return udf.MustAssemble(name, src) }
+
+// Format creates a fresh LFS on the volume.
+func Format(e *kernel.Env, x *xn.XN, name string) (*FS, error) {
+	fs := &FS{X: x, Name: name, files: make(map[string]int)}
+
+	dataT, err := x.InstallTemplate(e, xn.Template{
+		Name: name + ".data",
+		Owns: asm(name+".do", ownsNothing),
+		Acl:  asm(name+".da", approveAll),
+		Size: asm(name+".ds", blockSize),
+		// Data access rights come from the owning inode.
+		AclAtParent: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	inoT, err := x.InstallTemplate(e, xn.Template{
+		Name: name + ".inode",
+		Owns: asm(name+".io", inoOwnsSource(int64(dataT))),
+		Acl:  asm(name+".ia", approveAll),
+		Size: asm(name+".is", blockSize),
+	})
+	if err != nil {
+		return nil, err
+	}
+	imapT, err := x.InstallTemplate(e, xn.Template{
+		Name: name + ".imap",
+		Owns: asm(name+".mo", imapOwnsSource(int64(inoT))),
+		Acl:  asm(name+".ma", approveAll),
+		Size: asm(name+".ms", blockSize),
+	})
+	if err != nil {
+		return nil, err
+	}
+	ckptT, err := x.InstallTemplate(e, xn.Template{
+		Name: name + ".ckpt",
+		Owns: asm(name+".co", ckptOwnsSource(int64(imapT))),
+		Acl:  asm(name+".ca", approveAll),
+		Size: asm(name+".cs", blockSize),
+	})
+	if err != nil {
+		return nil, err
+	}
+	fs.DataT, fs.InoT, fs.ImapT, fs.CkptT = dataT, inoT, imapT, ckptT
+
+	ckpt, err := x.AllocRootExtent(e, 128, 1)
+	if err != nil {
+		return nil, err
+	}
+	fs.Ckpt = ckpt
+	if err := x.RegisterRoot(e, xn.Root{Name: name, Start: ckpt, Count: 1, Tmpl: ckptT}); err != nil {
+		return nil, err
+	}
+	if _, err := x.LoadRoot(e, name); err != nil {
+		return nil, err
+	}
+	x.Pin(ckpt)
+
+	// Header: magic, no imaps yet.
+	hdr := make([]byte, 8)
+	binary.LittleEndian.PutUint32(hdr[0:], Magic)
+	if err := x.Modify(e, ckpt, []xn.Mod{{Off: 0, Bytes: hdr}}); err != nil {
+		return nil, err
+	}
+
+	// First imap block, logged right after the checkpoint.
+	fs.tail = ckpt + 1
+	im, err := fs.logAlloc(e, 1)
+	if err != nil {
+		return nil, err
+	}
+	nImap := make([]byte, 4)
+	binary.LittleEndian.PutUint32(nImap, 1)
+	ptr := make([]byte, 8)
+	binary.LittleEndian.PutUint64(ptr, uint64(im))
+	if err := x.Alloc(e, ckpt,
+		[]xn.Mod{{Off: 4, Bytes: nImap}, {Off: ckptImapOff, Bytes: ptr}},
+		udf.Extent{Start: int64(im), Count: 1, Type: int64(imapT)}); err != nil {
+		return nil, err
+	}
+	if err := x.InitMetadata(e, im, make([]byte, 8)); err != nil {
+		return nil, err
+	}
+	x.Pin(im)
+	fs.imap = im
+	return fs, nil
+}
+
+// Attach mounts an existing LFS after a reboot, rebuilding the name
+// cache from the imap.
+func Attach(e *kernel.Env, x *xn.XN, name string) (*FS, error) {
+	fs := &FS{X: x, Name: name, files: make(map[string]int)}
+	for _, tp := range []struct {
+		suffix string
+		dst    *xn.TemplateID
+	}{{".data", &fs.DataT}, {".inode", &fs.InoT}, {".imap", &fs.ImapT}, {".ckpt", &fs.CkptT}} {
+		t, ok := x.TemplateByName(name + tp.suffix)
+		if !ok {
+			return nil, fmt.Errorf("lfs: template %s%s missing", name, tp.suffix)
+		}
+		*tp.dst = t.ID
+	}
+	r, err := x.LoadRoot(e, name)
+	if err != nil {
+		return nil, err
+	}
+	fs.Ckpt = r.Start
+	x.Pin(fs.Ckpt)
+	ck := x.PageData(fs.Ckpt)
+	if binary.LittleEndian.Uint32(ck[0:]) != Magic {
+		return nil, fmt.Errorf("lfs: bad checkpoint magic")
+	}
+	if binary.LittleEndian.Uint32(ck[4:]) < 1 {
+		return nil, fmt.Errorf("lfs: no imap")
+	}
+	fs.imap = disk.BlockNo(binary.LittleEndian.Uint64(ck[ckptImapOff:]))
+	if err := x.Insert(e, fs.Ckpt, udf.Extent{Start: int64(fs.imap), Count: 1, Type: int64(fs.ImapT)}); err != nil {
+		return nil, err
+	}
+	if err := x.Read(e, []disk.BlockNo{fs.imap}, nil); err != nil {
+		return nil, err
+	}
+	x.Pin(fs.imap)
+
+	// Rebuild the name cache by visiting every inode.
+	im := x.PageData(fs.imap)
+	bound := int(binary.LittleEndian.Uint32(im[0:]))
+	for slot := 0; slot < bound && slot < imapSlots; slot++ {
+		ptr := binary.LittleEndian.Uint64(im[imapSlotsOff+slot*8:])
+		if ptr == 0 {
+			continue
+		}
+		ino := disk.BlockNo(ptr)
+		if err := fs.ensureInode(e, ino); err != nil {
+			return nil, err
+		}
+		data := x.PageData(ino)
+		n := int(data[inoNameLen])
+		fs.files[string(data[inoName:inoName+n])] = slot
+	}
+	fs.tail = fs.Ckpt + 1
+	return fs, nil
+}
+
+// logAlloc claims count free contiguous blocks at the log tail,
+// advancing (and wrapping) the cursor.
+func (fs *FS) logAlloc(e *kernel.Env, count int64) (disk.BlockNo, error) {
+	start, ok := fs.X.FindFree(fs.tail, count)
+	if !ok {
+		return 0, xn.ErrNotFree
+	}
+	fs.tail = start + disk.BlockNo(count)
+	if int64(fs.tail) >= fs.X.D.NumBlocks()-count {
+		fs.tail = fs.Ckpt + 1 // wrap
+	}
+	return start, nil
+}
+
+func (fs *FS) ensureInode(e *kernel.Env, ino disk.BlockNo) error {
+	if fs.X.Cached(ino) {
+		return nil
+	}
+	if _, ok := fs.X.Lookup(ino); !ok {
+		if err := fs.X.Insert(e, fs.imap, udf.Extent{Start: int64(ino), Count: 1, Type: int64(fs.InoT)}); err != nil {
+			return err
+		}
+	}
+	return fs.X.Read(e, []disk.BlockNo{ino}, nil)
+}
+
+// inodeOf returns the slot and inode block for name.
+func (fs *FS) inodeOf(e *kernel.Env, name string) (int, disk.BlockNo, error) {
+	slot, ok := fs.files[name]
+	if !ok {
+		return 0, 0, ErrNotFound
+	}
+	im := fs.X.PageData(fs.imap)
+	ptr := binary.LittleEndian.Uint64(im[imapSlotsOff+slot*8:])
+	if ptr == 0 {
+		delete(fs.files, name)
+		return 0, 0, ErrNotFound
+	}
+	ino := disk.BlockNo(ptr)
+	if err := fs.ensureInode(e, ino); err != nil {
+		return 0, 0, err
+	}
+	return slot, ino, nil
+}
+
+// buildInode serializes an inode image.
+func buildInode(name string, size int, exts []xn.ExtentPair) []byte {
+	buf := make([]byte, 72+len(exts)*inoExtSize)
+	buf[inoUsed] = 1
+	buf[inoNameLen] = byte(len(name))
+	copy(buf[inoName:], name)
+	binary.LittleEndian.PutUint32(buf[inoSize:], uint32(size))
+	binary.LittleEndian.PutUint32(buf[inoNExt:], uint32(len(exts)))
+	for i, ext := range exts {
+		off := inoExts + i*inoExtSize
+		binary.LittleEndian.PutUint64(buf[off:], uint64(ext.Start))
+		binary.LittleEndian.PutUint32(buf[off+8:], ext.Count)
+	}
+	return buf
+}
+
+// decodeExtents parses an inode's extent list.
+func decodeExtents(data []byte) []xn.ExtentPair {
+	n := int(binary.LittleEndian.Uint32(data[inoNExt:]))
+	if n > maxExts {
+		n = maxExts
+	}
+	out := make([]xn.ExtentPair, 0, n)
+	for i := 0; i < n; i++ {
+		off := inoExts + i*inoExtSize
+		out = append(out, xn.ExtentPair{
+			Start: disk.BlockNo(binary.LittleEndian.Uint64(data[off:])),
+			Count: binary.LittleEndian.Uint32(data[off+8:]),
+		})
+	}
+	return out
+}
+
+// WriteFile logs a whole file: fresh data blocks and a fresh inode at
+// the tail, then one atomic imap-slot swap. The previous version's
+// blocks are released through XN's will-free machinery.
+func (fs *FS) WriteFile(e *kernel.Env, name string, data []byte) error {
+	e.LibCall(100)
+	if len(name) > maxName {
+		return ErrNameLen
+	}
+	x := fs.X
+
+	// 1. Log the data blocks.
+	nBlocks := int64((len(data) + sim.DiskBlockSize - 1) / sim.DiskBlockSize)
+	var exts []xn.ExtentPair
+	var newIno disk.BlockNo
+
+	// 2. Log the new inode (allocated out of the imap via Replace or
+	// Alloc below; data extents are recorded in the inode image before
+	// the inode block exists, which XN permits because ownership is
+	// checked at the metadata block holding the pointers — the imap —
+	// not inside the not-yet-allocated inode... so the order is: claim
+	// the inode block in the imap first, init it with NO extents, then
+	// Alloc the data extents into it.)
+	inoBlk, err := fs.logAlloc(e, 1)
+	if err != nil {
+		return err
+	}
+	newIno = inoBlk
+
+	oldSlot, oldIno, lookupErr := fs.slotFor(e, name)
+	slot := oldSlot
+	if lookupErr != nil { // new file: pick a free slot
+		slot = -1
+		im := x.PageData(fs.imap)
+		bound := int(binary.LittleEndian.Uint32(im[0:]))
+		for i := 0; i < imapSlots; i++ {
+			if i >= bound || binary.LittleEndian.Uint64(im[imapSlotsOff+i*8:]) == 0 {
+				slot = i
+				break
+			}
+		}
+		if slot < 0 {
+			return ErrFull
+		}
+	}
+
+	// Swap (or set) the imap slot.
+	ptr := make([]byte, 8)
+	binary.LittleEndian.PutUint64(ptr, uint64(newIno))
+	var mods []xn.Mod
+	im := x.PageData(fs.imap)
+	bound := int(binary.LittleEndian.Uint32(im[0:]))
+	if slot >= bound {
+		nb := make([]byte, 4)
+		binary.LittleEndian.PutUint32(nb, uint32(slot+1))
+		mods = append(mods, xn.Mod{Off: 0, Bytes: nb})
+	}
+	mods = append(mods, xn.Mod{Off: imapSlotsOff + slot*8, Bytes: ptr})
+
+	if lookupErr == nil {
+		// Existing file: release the old version's data first (the old
+		// inode still owns it), then atomically swap inodes.
+		if err := fs.truncateInode(e, oldIno); err != nil {
+			return err
+		}
+		if err := x.Replace(e, fs.imap, mods,
+			udf.Extent{Start: int64(newIno), Count: 1, Type: int64(fs.InoT)},
+			udf.Extent{Start: int64(oldIno), Count: 1, Type: int64(fs.InoT)}); err != nil {
+			return err
+		}
+	} else {
+		if err := x.Alloc(e, fs.imap, mods,
+			udf.Extent{Start: int64(newIno), Count: 1, Type: int64(fs.InoT)}); err != nil {
+			return err
+		}
+	}
+	if err := x.InitMetadata(e, newIno, buildInode(name, len(data), nil)); err != nil {
+		return err
+	}
+
+	// 3. Log the data extents into the new inode and fill the pages.
+	remaining := nBlocks
+	off := 0
+	for remaining > 0 {
+		if len(exts) >= maxExts {
+			return ErrTooBig
+		}
+		start, err := fs.logAlloc(e, remaining)
+		if err != nil {
+			// Fall back to whatever contiguous run exists.
+			start, err = fs.logAlloc(e, 1)
+			if err != nil {
+				return err
+			}
+			exts = append(exts, xn.ExtentPair{Start: start, Count: 1})
+			remaining--
+		} else {
+			exts = append(exts, xn.ExtentPair{Start: start, Count: uint32(remaining)})
+			remaining = 0
+		}
+		ext := exts[len(exts)-1]
+		img := buildInode(name, len(data), exts)
+		if err := x.Alloc(e, newIno,
+			[]xn.Mod{{Off: 0, Bytes: img}},
+			udf.Extent{Start: int64(ext.Start), Count: int64(ext.Count), Type: int64(fs.DataT)}); err != nil {
+			return err
+		}
+		for j := uint32(0); j < ext.Count; j++ {
+			b := ext.Start + disk.BlockNo(j)
+			if _, err := x.AttachPage(e, b); err != nil {
+				return err
+			}
+			page := x.PageData(b)
+			n := copy(page, data[off:])
+			off += n
+			if err := x.MarkDirty(e, b); err != nil {
+				return err
+			}
+		}
+		e.Use(sim.CopyCost(int(ext.Count) * sim.DiskBlockSize))
+	}
+
+	fs.files[name] = slot
+	return nil
+}
+
+// slotFor resolves name without mutating state.
+func (fs *FS) slotFor(e *kernel.Env, name string) (int, disk.BlockNo, error) {
+	return fs.inodeOf(e, name)
+}
+
+// truncateInode releases every data extent an inode owns.
+func (fs *FS) truncateInode(e *kernel.Env, ino disk.BlockNo) error {
+	if err := fs.ensureInode(e, ino); err != nil {
+		return err
+	}
+	data := fs.X.PageData(ino)
+	exts := decodeExtents(data)
+	name := string(data[inoName : inoName+int(data[inoNameLen])])
+	size := int(binary.LittleEndian.Uint32(data[inoSize:]))
+	for i := len(exts) - 1; i >= 0; i-- {
+		img := buildInode(name, size, exts[:i])
+		if err := fs.X.Dealloc(e, ino,
+			[]xn.Mod{{Off: 0, Bytes: img}},
+			udf.Extent{Start: int64(exts[i].Start), Count: int64(exts[i].Count), Type: int64(fs.DataT)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFile returns a file's content.
+func (fs *FS) ReadFile(e *kernel.Env, name string) ([]byte, error) {
+	e.LibCall(100)
+	_, ino, err := fs.inodeOf(e, name)
+	if err != nil {
+		return nil, err
+	}
+	x := fs.X
+	data := x.PageData(ino)
+	size := int(binary.LittleEndian.Uint32(data[inoSize:]))
+	exts := decodeExtents(data)
+	out := make([]byte, 0, size)
+	for _, ext := range exts {
+		var need []disk.BlockNo
+		for j := uint32(0); j < ext.Count; j++ {
+			b := ext.Start + disk.BlockNo(j)
+			if !x.Cached(b) {
+				if _, ok := x.Lookup(b); !ok {
+					if err := x.Insert(e, ino, udf.Extent{Start: int64(b), Count: 1, Type: int64(fs.DataT)}); err != nil {
+						return nil, err
+					}
+				}
+				need = append(need, b)
+			}
+		}
+		if len(need) > 0 {
+			if err := x.Read(e, need, nil); err != nil {
+				return nil, err
+			}
+		}
+		for j := uint32(0); j < ext.Count && len(out) < size; j++ {
+			b := ext.Start + disk.BlockNo(j)
+			page := x.PageData(b)
+			take := size - len(out)
+			if take > len(page) {
+				take = len(page)
+			}
+			out = append(out, page[:take]...)
+		}
+	}
+	e.Use(sim.CopyCost(len(out)))
+	return out, nil
+}
+
+// Delete removes a file: release its data, then drop the inode from
+// the imap.
+func (fs *FS) Delete(e *kernel.Env, name string) error {
+	e.LibCall(100)
+	slot, ino, err := fs.inodeOf(e, name)
+	if err != nil {
+		return err
+	}
+	if err := fs.truncateInode(e, ino); err != nil {
+		return err
+	}
+	zero := make([]byte, 8)
+	if err := fs.X.Dealloc(e, fs.imap,
+		[]xn.Mod{{Off: imapSlotsOff + slot*8, Bytes: zero}},
+		udf.Extent{Start: int64(ino), Count: 1, Type: int64(fs.InoT)}); err != nil {
+		return err
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// Files lists the live file names.
+func (fs *FS) Files() []string {
+	out := make([]string, 0, len(fs.files))
+	for name := range fs.files {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Sync flushes everything in dependency order.
+func (fs *FS) Sync(e *kernel.Env) error { return fs.X.Sync(e) }
+
+// Clean compacts the region [start, start+count): every live file with
+// blocks inside it is re-logged at the tail, freeing the region (the
+// LFS cleaner).
+func (fs *FS) Clean(e *kernel.Env, start disk.BlockNo, count int64) (moved int, err error) {
+	e.LibCall(200)
+	end := start + disk.BlockNo(count)
+	inRegion := func(b disk.BlockNo, c uint32) bool {
+		return b < end && b+disk.BlockNo(c) > start
+	}
+	// Collect victims first: re-logging mutates the imap.
+	var victims []string
+	for name := range fs.files {
+		_, ino, err := fs.inodeOf(e, name)
+		if err != nil {
+			return moved, err
+		}
+		hit := inRegion(ino, 1)
+		if !hit {
+			for _, ext := range decodeExtents(fs.X.PageData(ino)) {
+				if inRegion(ext.Start, ext.Count) {
+					hit = true
+					break
+				}
+			}
+		}
+		if hit {
+			victims = append(victims, name)
+		}
+	}
+	for _, name := range victims {
+		data, err := fs.ReadFile(e, name)
+		if err != nil {
+			return moved, err
+		}
+		// Point the tail past the region so the rewrite lands outside.
+		if fs.tail >= start && fs.tail < end {
+			fs.tail = end
+		}
+		if err := fs.WriteFile(e, name, data); err != nil {
+			return moved, err
+		}
+		moved++
+	}
+	return moved, nil
+}

@@ -1,0 +1,327 @@
+package lfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"xok/internal/cap"
+	"xok/internal/cffs"
+	"xok/internal/kernel"
+	"xok/internal/xn"
+)
+
+func boot(t *testing.T) (*kernel.Kernel, *xn.XN, *FS) {
+	t.Helper()
+	k := kernel.New(kernel.Config{Name: "xok", MemPages: 4096, DiskSize: 32768})
+	x := xn.New(k)
+	var fs *FS
+	k.Spawn("format", func(e *kernel.Env) {
+		e.Creds = cap.UnixCreds(0)
+		var err error
+		fs, err = Format(e, x, "lfs")
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	k.Run()
+	if t.Failed() {
+		t.FailNow()
+	}
+	return k, x, fs
+}
+
+func run(t *testing.T, k *kernel.Kernel, body func(e *kernel.Env) error) {
+	t.Helper()
+	k.Spawn("t", func(e *kernel.Env) {
+		e.Creds = cap.UnixCreds(0)
+		if err := body(e); err != nil {
+			t.Errorf("%v", err)
+		}
+	})
+	k.Run()
+}
+
+func payload(seed byte, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)*13 + seed
+	}
+	return b
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	k, _, fs := boot(t)
+	data := payload(1, 10000)
+	run(t, k, func(e *kernel.Env) error {
+		if err := fs.WriteFile(e, "alpha", data); err != nil {
+			return err
+		}
+		got, err := fs.ReadFile(e, "alpha")
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, data) {
+			t.Error("round trip mismatch")
+		}
+		if _, err := fs.ReadFile(e, "missing"); !errors.Is(err, ErrNotFound) {
+			t.Errorf("missing err = %v", err)
+		}
+		return nil
+	})
+}
+
+func TestOverwriteIsOutOfPlace(t *testing.T) {
+	// LFS never updates in place: a rewrite must land on different
+	// blocks, and the old version's blocks must eventually free.
+	k, x, fs := boot(t)
+	run(t, k, func(e *kernel.Env) error {
+		if err := fs.WriteFile(e, "f", payload(1, 8000)); err != nil {
+			return err
+		}
+		_, ino1, err := fs.inodeOf(e, "f")
+		if err != nil {
+			return err
+		}
+		ext1 := decodeExtents(x.PageData(ino1))
+		if err := fs.Sync(e); err != nil {
+			return err
+		}
+		freeBefore := x.FreeBlocks()
+
+		if err := fs.WriteFile(e, "f", payload(2, 8000)); err != nil {
+			return err
+		}
+		_, ino2, err := fs.inodeOf(e, "f")
+		if err != nil {
+			return err
+		}
+		if ino1 == ino2 {
+			t.Error("inode updated in place")
+		}
+		ext2 := decodeExtents(x.PageData(ino2))
+		for _, a := range ext1 {
+			for _, b := range ext2 {
+				if a.Start == b.Start {
+					t.Error("data blocks reused in place")
+				}
+			}
+		}
+		// After sync, the old version's blocks are reclaimed.
+		if err := fs.Sync(e); err != nil {
+			return err
+		}
+		if got := x.FreeBlocks(); got != freeBefore {
+			t.Errorf("free blocks = %d, want %d (old version reclaimed)", got, freeBefore)
+		}
+		got, err := fs.ReadFile(e, "f")
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, payload(2, 8000)) {
+			t.Error("content is not the new version")
+		}
+		return nil
+	})
+}
+
+func TestDeleteReclaims(t *testing.T) {
+	k, x, fs := boot(t)
+	run(t, k, func(e *kernel.Env) error {
+		free0 := x.FreeBlocks()
+		if err := fs.WriteFile(e, "doomed", payload(3, 20000)); err != nil {
+			return err
+		}
+		if err := fs.Delete(e, "doomed"); err != nil {
+			return err
+		}
+		if _, err := fs.ReadFile(e, "doomed"); !errors.Is(err, ErrNotFound) {
+			t.Errorf("read after delete = %v", err)
+		}
+		if err := fs.Sync(e); err != nil {
+			return err
+		}
+		if got := x.FreeBlocks(); got != free0 {
+			t.Errorf("free = %d, want %d after delete", got, free0)
+		}
+		return nil
+	})
+}
+
+func TestPersistenceAcrossReboot(t *testing.T) {
+	k, _, fs := boot(t)
+	data := payload(7, 30000)
+	run(t, k, func(e *kernel.Env) error {
+		if err := fs.WriteFile(e, "keep", data); err != nil {
+			return err
+		}
+		if err := fs.WriteFile(e, "also", payload(8, 500)); err != nil {
+			return err
+		}
+		return fs.Sync(e)
+	})
+	x2, err := xn.Mount(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, k, func(e *kernel.Env) error {
+		fs2, err := Attach(e, x2, "lfs")
+		if err != nil {
+			return err
+		}
+		if len(fs2.Files()) != 2 {
+			t.Errorf("files after reboot = %v", fs2.Files())
+		}
+		got, err := fs2.ReadFile(e, "keep")
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, data) {
+			t.Error("content lost across reboot")
+		}
+		return nil
+	})
+}
+
+func TestUnsyncedWriteLostCleanly(t *testing.T) {
+	k, _, fs := boot(t)
+	run(t, k, func(e *kernel.Env) error {
+		if err := fs.WriteFile(e, "durable", payload(1, 5000)); err != nil {
+			return err
+		}
+		if err := fs.Sync(e); err != nil {
+			return err
+		}
+		// Never synced: must vanish without corrupting anything.
+		return fs.WriteFile(e, "ghost", payload(2, 5000))
+	})
+	x2, err := xn.Mount(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, k, func(e *kernel.Env) error {
+		fs2, err := Attach(e, x2, "lfs")
+		if err != nil {
+			return err
+		}
+		if _, err := fs2.ReadFile(e, "durable"); err != nil {
+			t.Errorf("durable file lost: %v", err)
+		}
+		if _, err := fs2.ReadFile(e, "ghost"); !errors.Is(err, ErrNotFound) {
+			t.Errorf("ghost err = %v", err)
+		}
+		return nil
+	})
+}
+
+func TestCleanerCompactsRegion(t *testing.T) {
+	k, x, fs := boot(t)
+	run(t, k, func(e *kernel.Env) error {
+		// Write files, then clean the region they live in.
+		for i := 0; i < 5; i++ {
+			if err := fs.WriteFile(e, fmt.Sprintf("f%d", i), payload(byte(i), 9000)); err != nil {
+				return err
+			}
+		}
+		if err := fs.Sync(e); err != nil {
+			return err
+		}
+		start := fs.Ckpt + 1
+		moved, err := fs.Clean(e, start, 64)
+		if err != nil {
+			return err
+		}
+		if moved == 0 {
+			t.Error("cleaner moved nothing")
+		}
+		if err := fs.Sync(e); err != nil {
+			return err
+		}
+		// The region is now free (except the pinned imap inside it).
+		freeInRegion := 0
+		for b := start; b < start+64; b++ {
+			if x.IsFree(b) {
+				freeInRegion++
+			}
+		}
+		if freeInRegion < 50 {
+			t.Errorf("only %d/64 region blocks free after cleaning", freeInRegion)
+		}
+		// All content intact.
+		for i := 0; i < 5; i++ {
+			got, err := fs.ReadFile(e, fmt.Sprintf("f%d", i))
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(got, payload(byte(i), 9000)) {
+				t.Errorf("f%d corrupted by cleaner", i)
+			}
+		}
+		return nil
+	})
+}
+
+func TestLFSAndCFFSShareOneDisk(t *testing.T) {
+	// The Section 4.6 question, answered: two radically different
+	// libFSes running concurrently over one XN.
+	k, x, fs := boot(t)
+	var cf *cffs.FS
+	run(t, k, func(e *kernel.Env) error {
+		var err error
+		cf, err = cffs.Mkfs(e, x, "cffs", cffs.DefaultConfig())
+		return err
+	})
+	run(t, k, func(e *kernel.Env) error {
+		if err := fs.WriteFile(e, "log-entry", payload(1, 7000)); err != nil {
+			return err
+		}
+		ref, err := cf.Create(e, "/unix-file", 0, 0, 6)
+		if err != nil {
+			return err
+		}
+		if _, err := cf.WriteAt(e, ref, 0, payload(2, 7000)); err != nil {
+			return err
+		}
+		return x.Sync(e)
+	})
+	// Both survive reboot.
+	x2, err := xn.Mount(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, k, func(e *kernel.Env) error {
+		fs2, err := Attach(e, x2, "lfs")
+		if err != nil {
+			return err
+		}
+		got, err := fs2.ReadFile(e, "log-entry")
+		if err != nil || !bytes.Equal(got, payload(1, 7000)) {
+			t.Errorf("lfs content lost: %v", err)
+		}
+		cf2, err := cffs.Attach(e, x2, "cffs", cffs.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		ref, _, err := cf2.Lookup(e, "/unix-file")
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, 7000)
+		if _, err := cf2.ReadAt(e, ref, 0, buf); err != nil || !bytes.Equal(buf, payload(2, 7000)) {
+			t.Errorf("cffs content lost: %v", err)
+		}
+		return nil
+	})
+}
+
+func TestNameTooLongAndImapBound(t *testing.T) {
+	k, _, fs := boot(t)
+	run(t, k, func(e *kernel.Env) error {
+		long := string(bytes.Repeat([]byte("x"), maxName+1))
+		if err := fs.WriteFile(e, long, []byte("y")); !errors.Is(err, ErrNameLen) {
+			t.Errorf("long name err = %v", err)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,262 @@
+// Package mem models the physical memory of the simulated machine and
+// the per-environment page tables Xok maintains.
+//
+// Exokernel principles visible here (Section 3.1):
+//
+//   - Expose allocation: environments allocate specific physical pages
+//     explicitly and may request particular page numbers.
+//   - Expose names: all interfaces use physical page numbers.
+//   - Expose information: the free list, per-page guards, reference
+//     counts and the kernel's approximate-LRU ordering are readable by
+//     applications.
+//
+// Because the x86 defines the page-table format and refills the TLB in
+// hardware, applications cannot own their page tables on Xok; they
+// mutate mappings through (batched) system calls instead (Section 5.1).
+// The PageTable type models exactly the state those calls maintain,
+// including the software-only PTE bits ExOS uses to implement
+// copy-on-write (Section 9.3: "Xok lets libOSes use the software-only
+// bits of page tables, greatly simplifying the implementation of copy
+// on write").
+package mem
+
+import (
+	"errors"
+	"fmt"
+
+	"xok/internal/cap"
+	"xok/internal/sim"
+)
+
+// PageNo names a physical page. Physical names are the exokernel
+// currency; -1 is "no page".
+type PageNo int32
+
+// NoPage is the invalid page number.
+const NoPage PageNo = -1
+
+// Errors returned by the allocator and access checks.
+var (
+	ErrNoMemory     = errors.New("mem: out of physical pages")
+	ErrBadPage      = errors.New("mem: bad physical page number")
+	ErrNotFree      = errors.New("mem: requested page is not free")
+	ErrAccessDenied = errors.New("mem: capability check failed")
+	ErrPageInUse    = errors.New("mem: page reference count not zero")
+)
+
+type page struct {
+	guard    cap.Capability
+	refCount int  // live mappings + registry pins
+	free     bool // on the free list
+	data     []byte
+	lastUse  uint64 // LRU clock stamp
+}
+
+// PhysMem is the machine's physical page frame array plus the free
+// list.
+type PhysMem struct {
+	pages    []page
+	freeList []PageNo
+	useClock uint64
+	stats    *sim.Stats
+}
+
+// New returns physical memory with npages frames, all free.
+func New(npages int, stats *sim.Stats) *PhysMem {
+	m := &PhysMem{pages: make([]page, npages), stats: stats}
+	m.freeList = make([]PageNo, 0, npages)
+	for i := npages - 1; i >= 0; i-- {
+		m.pages[i].free = true
+		m.freeList = append(m.freeList, PageNo(i))
+	}
+	return m
+}
+
+// NumPages returns the total number of physical frames.
+func (m *PhysMem) NumPages() int { return len(m.pages) }
+
+// FreePages returns how many frames are on the free list. The free
+// list itself is exposed state; applications use it to pick frames.
+func (m *PhysMem) FreePages() int { return len(m.freeList) }
+
+func (m *PhysMem) valid(p PageNo) bool {
+	return p >= 0 && int(p) < len(m.pages)
+}
+
+// Alloc takes a frame off the free list and guards it with guard.
+// The caller (an environment) chose to allocate — allocation is always
+// explicit and visible.
+func (m *PhysMem) Alloc(guard cap.Capability) (PageNo, error) {
+	n := len(m.freeList)
+	if n == 0 {
+		return NoPage, ErrNoMemory
+	}
+	p := m.freeList[n-1]
+	m.freeList = m.freeList[:n-1]
+	pg := &m.pages[p]
+	pg.free = false
+	pg.guard = guard
+	pg.refCount = 0
+	pg.lastUse = m.touchClock()
+	return p, nil
+}
+
+// AllocSpecific allocates the named frame if it is free, honoring the
+// "expose allocation: specific resources can be requested" principle.
+func (m *PhysMem) AllocSpecific(p PageNo, guard cap.Capability) error {
+	if !m.valid(p) {
+		return ErrBadPage
+	}
+	pg := &m.pages[p]
+	if !pg.free {
+		return ErrNotFree
+	}
+	for i, f := range m.freeList {
+		if f == p {
+			m.freeList = append(m.freeList[:i], m.freeList[i+1:]...)
+			break
+		}
+	}
+	pg.free = false
+	pg.guard = guard
+	pg.refCount = 0
+	pg.lastUse = m.touchClock()
+	return nil
+}
+
+// Free returns a frame to the free list. The caller must hold write
+// power over the page's guard and the page must be unreferenced —
+// revocation is explicit and applications choose *which* page to give
+// up.
+func (m *PhysMem) Free(p PageNo, creds cap.Credentials) error {
+	if !m.valid(p) {
+		return ErrBadPage
+	}
+	pg := &m.pages[p]
+	if pg.free {
+		return ErrBadPage
+	}
+	if !creds.Grants(pg.guard, true) {
+		return ErrAccessDenied
+	}
+	if pg.refCount != 0 {
+		return ErrPageInUse
+	}
+	pg.free = true
+	pg.data = nil
+	m.freeList = append(m.freeList, p)
+	return nil
+}
+
+// Access verifies that creds allow (write?) access to frame p. Access
+// control happens at map/bind time (secure bindings); the simulation
+// calls this wherever Xok would check a binding.
+func (m *PhysMem) Access(p PageNo, creds cap.Credentials, write bool) error {
+	if !m.valid(p) {
+		return ErrBadPage
+	}
+	pg := &m.pages[p]
+	if pg.free {
+		return ErrBadPage
+	}
+	if !creds.Grants(pg.guard, write) {
+		return ErrAccessDenied
+	}
+	return nil
+}
+
+// SetGuard re-guards a page; requires current write power.
+func (m *PhysMem) SetGuard(p PageNo, creds cap.Credentials, guard cap.Capability) error {
+	if err := m.Access(p, creds, true); err != nil {
+		return err
+	}
+	m.pages[p].guard = guard
+	return nil
+}
+
+// Guard returns the page's guard capability (exposed information).
+func (m *PhysMem) Guard(p PageNo) (cap.Capability, error) {
+	if !m.valid(p) || m.pages[p].free {
+		return cap.Capability{}, ErrBadPage
+	}
+	return m.pages[p].guard, nil
+}
+
+// Ref pins a frame (a mapping or a buffer-registry entry references
+// it). RefCount is exposed information.
+func (m *PhysMem) Ref(p PageNo) error {
+	if !m.valid(p) || m.pages[p].free {
+		return ErrBadPage
+	}
+	m.pages[p].refCount++
+	return nil
+}
+
+// Unref releases one pin.
+func (m *PhysMem) Unref(p PageNo) error {
+	if !m.valid(p) || m.pages[p].free {
+		return ErrBadPage
+	}
+	if m.pages[p].refCount == 0 {
+		return fmt.Errorf("mem: unref of page %d with zero refcount", p)
+	}
+	m.pages[p].refCount--
+	return nil
+}
+
+// RefCount returns the pin count of frame p.
+func (m *PhysMem) RefCount(p PageNo) int {
+	if !m.valid(p) || m.pages[p].free {
+		return 0
+	}
+	return m.pages[p].refCount
+}
+
+// Data returns the 4-KB backing store of frame p, allocating it lazily.
+// The simulation stores real bytes so XN's UDFs can interpret real
+// metadata.
+func (m *PhysMem) Data(p PageNo) []byte {
+	if !m.valid(p) || m.pages[p].free {
+		panic(fmt.Sprintf("mem: Data on invalid page %d", p))
+	}
+	pg := &m.pages[p]
+	if pg.data == nil {
+		pg.data = make([]byte, sim.PageSize)
+	}
+	pg.lastUse = m.touchClock()
+	return pg.data
+}
+
+// Touch stamps frame p in the kernel's approximate-LRU ordering —
+// "an exokernel might also record an approximate least-recently-used
+// ordering of all physical pages, something individual applications
+// cannot do without global information" (Section 3.1).
+func (m *PhysMem) Touch(p PageNo) {
+	if m.valid(p) && !m.pages[p].free {
+		m.pages[p].lastUse = m.touchClock()
+	}
+}
+
+func (m *PhysMem) touchClock() uint64 {
+	m.useClock++
+	return m.useClock
+}
+
+// LRUVictim returns the least-recently-used allocated, unreferenced
+// frame, or NoPage if none qualifies. LibOSes consult this when they
+// need frames and none are free.
+func (m *PhysMem) LRUVictim() PageNo {
+	best := NoPage
+	var bestUse uint64
+	for i := range m.pages {
+		pg := &m.pages[i]
+		if pg.free || pg.refCount > 0 {
+			continue
+		}
+		if best == NoPage || pg.lastUse < bestUse {
+			best = PageNo(i)
+			bestUse = pg.lastUse
+		}
+	}
+	return best
+}

@@ -1,0 +1,71 @@
+package mem
+
+// VPN is a virtual page number inside one environment's address space.
+type VPN uint32
+
+// PTE is one page-table entry. Writable is the hardware W bit; Soft is
+// the software-only bit field the hardware ignores but Xok exposes to
+// libOSes (ExOS keeps its copy-on-write mark there).
+type PTE struct {
+	Phys     PageNo
+	Writable bool
+	Soft     uint8
+}
+
+// Software-bit assignments used by ExOS.
+const (
+	SoftCOW uint8 = 1 << iota // page is copy-on-write
+	SoftPinned
+)
+
+// PageTable is one environment's virtual-to-physical mapping. On real
+// Xok this is the x86 hardware page table, mutated only via system
+// calls; the kernel package charges those call costs.
+type PageTable struct {
+	entries map[VPN]PTE
+}
+
+// NewPageTable returns an empty table.
+func NewPageTable() *PageTable {
+	return &PageTable{entries: make(map[VPN]PTE)}
+}
+
+// Map installs or replaces the entry for vpn.
+func (pt *PageTable) Map(vpn VPN, e PTE) { pt.entries[vpn] = e }
+
+// Unmap removes vpn's entry, returning the old entry and whether one
+// existed.
+func (pt *PageTable) Unmap(vpn VPN) (PTE, bool) {
+	e, ok := pt.entries[vpn]
+	if ok {
+		delete(pt.entries, vpn)
+	}
+	return e, ok
+}
+
+// Lookup returns vpn's entry.
+func (pt *PageTable) Lookup(vpn VPN) (PTE, bool) {
+	e, ok := pt.entries[vpn]
+	return e, ok
+}
+
+// Len returns the number of live mappings.
+func (pt *PageTable) Len() int { return len(pt.entries) }
+
+// Range calls fn for every mapping; fn may not mutate the table.
+// Iteration order is unspecified (callers needing determinism sort the
+// VPNs themselves).
+func (pt *PageTable) Range(fn func(VPN, PTE)) {
+	for vpn, e := range pt.entries {
+		fn(vpn, e)
+	}
+}
+
+// VPNs returns all mapped virtual page numbers, unsorted.
+func (pt *PageTable) VPNs() []VPN {
+	out := make([]VPN, 0, len(pt.entries))
+	for vpn := range pt.entries {
+		out = append(out, vpn)
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package netsim
+
+import (
+	"xok/internal/dpf"
+	"xok/internal/sim"
+)
+
+// Conn is one HTTP/1.0 connection: server-side state plus the scripted
+// client endpoint (clients are other machines; their logic runs in
+// event callbacks with no simulated-CPU accounting — the paper
+// saturates the server from multiple client hosts).
+type Conn struct {
+	net  *Net
+	link *Link
+
+	clientPort uint16
+	filterID   dpf.ID
+	hasFilter  bool
+
+	// Client-side state. The client accepts segments in order only
+	// (the link is FIFO; a loss leaves a hole that go-back-N
+	// retransmission fills).
+	expect    int // response bytes outstanding
+	got       int // contiguous bytes received
+	sawFIN    bool
+	started   sim.Time
+	onDone    func(latency sim.Time)
+	unacked   int // data segments since last client ACK
+	reqDocLen int
+
+	// Server-side retransmission state (the merged file cache /
+	// retransmission pool holds the data; nothing is re-read or
+	// re-copied on a retransmit).
+	srvTotal int
+	srvAcked int
+	srvDone  bool
+	rto      *sim.Event
+}
+
+// clientDeliver handles a server->client segment at the client host.
+func (c *Conn) clientDeliver(pkt *Packet) {
+	if pkt.Flags&FlagSYN != 0 {
+		// SYN-ACK: complete the handshake; piggyback the HTTP request
+		// on the client's ACK (a ~200-byte GET).
+		req := &Packet{
+			SrcPort: c.clientPort, DstPort: ServerPort,
+			Flags: FlagACK | FlagPSH, Payload: requestBytes, Conn: c,
+		}
+		c.link.transmit(toServer, req.Payload, func() { c.net.serverRx(req) })
+		return
+	}
+	if pkt.Payload > 0 {
+		if pkt.Seq != c.got {
+			// A predecessor was lost: discard and dup-ACK so the
+			// server learns our progress.
+			c.sendAck()
+			return
+		}
+		c.got += pkt.Payload
+		c.unacked++
+		// Delayed ACK: every second segment.
+		if c.unacked >= 2 {
+			c.unacked = 0
+			c.sendAck()
+		}
+	}
+	if pkt.Flags&FlagFIN != 0 && c.got >= pkt.Seq {
+		c.sawFIN = true
+	}
+	if c.sawFIN && c.got >= c.expect {
+		done := c.onDone
+		c.onDone = nil
+		if done != nil {
+			// Final cumulative ACK so the server can retire the
+			// connection.
+			c.sendAck()
+			done(c.net.Eng.Now() - c.started)
+		}
+	}
+}
+
+// sendAck transmits a cumulative ACK carrying the client's in-order
+// byte count.
+func (c *Conn) sendAck() {
+	ack := &Packet{
+		SrcPort: c.clientPort, DstPort: ServerPort,
+		Flags: FlagACK, Ack: c.got, Conn: c,
+	}
+	c.link.transmit(toServer, 0, func() { c.net.serverRx(ack) })
+}
+
+// sendToClient transmits a server segment. Data segments may be lost
+// (Net.LossRate); the wire time is still consumed — the frame goes out,
+// it just never arrives.
+func (c *Conn) sendToClient(flags uint8, payload, seq int) {
+	c.net.K.Stats.Inc(sim.CtrPacketsTx)
+	pkt := &Packet{SrcPort: ServerPort, DstPort: c.clientPort, Flags: flags, Payload: payload, Seq: seq, Conn: c}
+	lost := payload > 0 && c.net.LossRate > 0 && c.net.lossRNG.Intn(c.net.LossRate) == 0
+	c.link.transmit(toClient, payload, func() {
+		if lost {
+			return
+		}
+		c.clientDeliver(pkt)
+	})
+}
+
+// ClientPool drives nClients closed-loop HTTP clients against the
+// server: each opens a connection, sends one request, reads the full
+// response, and immediately issues the next. Connections round-robin
+// across the links.
+type ClientPool struct {
+	net      *Net
+	docSize  int
+	nextPort uint16
+	linkRR   int
+
+	stopAt    sim.Time
+	Completed int
+	Bytes     int64
+	latSum    sim.Time
+	LatMax    sim.Time
+}
+
+// requestBytes is the size of an HTTP GET.
+const requestBytes = 200
+
+// responseHeader is the HTTP response header size.
+const responseHeader = 200
+
+// ServerPort is the HTTP port.
+const ServerPort = 80
+
+// NewClientPool prepares n clients fetching docSize-byte documents.
+func (n *Net) NewClientPool(clients, docSize int, stopAt sim.Time) *ClientPool {
+	p := &ClientPool{net: n, docSize: docSize, nextPort: 10000, stopAt: stopAt}
+	for i := 0; i < clients; i++ {
+		// Stagger starts slightly for a clean ramp.
+		d := sim.Time(i) * 100
+		n.Eng.After(d, p.startRequest)
+	}
+	return p
+}
+
+// startRequest opens a fresh connection and sends the SYN.
+func (p *ClientPool) startRequest() {
+	if p.net.Eng.Now() >= p.stopAt {
+		return
+	}
+	port := p.nextPort
+	p.nextPort++
+	link := p.net.Links[p.linkRR%len(p.net.Links)]
+	p.linkRR++
+	c := &Conn{
+		net:        p.net,
+		link:       link,
+		clientPort: port,
+		expect:     responseHeader + p.docSize,
+		started:    p.net.Eng.Now(),
+		reqDocLen:  p.docSize,
+	}
+	c.onDone = func(lat sim.Time) {
+		p.Completed++
+		p.Bytes += int64(p.docSize)
+		p.latSum += lat
+		if lat > p.LatMax {
+			p.LatMax = lat
+		}
+		p.startRequest()
+	}
+	syn := &Packet{SrcPort: port, DstPort: ServerPort, Flags: FlagSYN, Conn: c}
+	link.transmit(toServer, 0, func() { p.net.serverRx(syn) })
+}
+
+// MeanLatency reports the average request latency.
+func (p *ClientPool) MeanLatency() sim.Time {
+	if p.Completed == 0 {
+		return 0
+	}
+	return p.latSum / sim.Time(p.Completed)
+}

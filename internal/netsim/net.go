@@ -1,0 +1,140 @@
+// Package netsim models the paper's network environment for the HTTP
+// experiments (Section 7.3): a server machine with three 100-Mbit/s
+// Ethernets and a population of closed-loop clients. Packets occupy
+// link bandwidth for their wire time, arrivals interrupt the server's
+// CPU, and Xok's dynamic packet filters (internal/dpf) demultiplex
+// arriving packets to the listening server or the specific connection
+// — exactly the kernel path Xok uses.
+//
+// The transport is a compact HTTP/1.0-over-TCP exchange: SYN,
+// SYN-ACK, request (piggybacked on the client's ACK), response
+// segments with delayed client ACKs every second segment, FIN. The
+// server-side cost knobs (per-connection CPU, per-packet CPU, copies
+// into a retransmission pool, checksum computation, separate
+// control packets, fork-per-request) are what differentiate the five
+// servers of Figure 3.
+package netsim
+
+import (
+	"encoding/binary"
+
+	"xok/internal/dpf"
+	"xok/internal/kernel"
+	"xok/internal/sim"
+)
+
+// TCP/IP header bytes per segment on the wire.
+const ipTCPHeader = 40
+
+// MSS is the maximum segment payload.
+const MSS = sim.EthernetMTU - ipTCPHeader
+
+// Packet flags.
+const (
+	FlagSYN uint8 = 1 << iota
+	FlagACK
+	FlagFIN
+	FlagPSH
+)
+
+// Packet is one TCP segment (payload content is not materialized; the
+// header bytes are real so the packet filters have something to match).
+type Packet struct {
+	SrcPort uint16
+	DstPort uint16
+	Flags   uint8
+	Payload int
+	Seq     int // first payload byte's offset in the response stream
+	Ack     int // client ACK: bytes received in order
+	Conn    *Conn
+}
+
+// Header renders the bytes the packet filter engine matches: dst port,
+// src port, flags.
+func (p *Packet) Header() []byte {
+	h := make([]byte, 5)
+	binary.BigEndian.PutUint16(h[0:], p.DstPort)
+	binary.BigEndian.PutUint16(h[2:], p.SrcPort)
+	h[4] = p.Flags
+	return h
+}
+
+// Link is one full-duplex Ethernet.
+type Link struct {
+	eng  *sim.Engine
+	busy [2]sim.Time // per-direction transmit horizon
+}
+
+// Directions.
+const (
+	toServer = 0
+	toClient = 1
+)
+
+// transmit serializes a frame on one direction and schedules delivery.
+func (l *Link) transmit(dir int, payload int, deliver func()) {
+	start := l.eng.Now()
+	if l.busy[dir] > start {
+		start = l.busy[dir]
+	}
+	tx := sim.WireTime(payload + ipTCPHeader)
+	l.busy[dir] = start + tx
+	l.eng.At(start+tx+sim.LinkLatency, deliver)
+}
+
+// Net is the network attached to one server machine.
+type Net struct {
+	K     *kernel.Kernel
+	Eng   *sim.Engine
+	Links []*Link
+	DPF   *dpf.Engine
+
+	// LossRate drops roughly one in LossRate server->client data
+	// segments (0 = lossless, the default). Deterministic: driven by
+	// lossRNG.
+	LossRate int
+	lossRNG  *sim.RNG
+
+	stack *Stack
+}
+
+// New wires sim.NumLinks Ethernets to the kernel's machine.
+func New(k *kernel.Kernel) *Net {
+	n := &Net{K: k, Eng: k.Eng, DPF: dpf.NewEngine(), lossRNG: sim.NewRNG(0xfade)}
+	for i := 0; i < sim.NumLinks; i++ {
+		n.Links = append(n.Links, &Link{eng: k.Eng})
+	}
+	return n
+}
+
+// serverRx is the NIC receive path: interrupt, packet filter, enqueue
+// on the owner's ring, wake the server.
+func (n *Net) serverRx(pkt *Packet) {
+	n.K.ChargeInterrupt(sim.CostNICInterrupt)
+	n.K.Stats.Inc(sim.CtrPacketsRx)
+	n.K.ChargeInterrupt(sim.CostPacketFilter)
+	owner, ok := n.DPF.Dispatch(pkt.Header())
+	if !ok {
+		return // no filter claims it: dropped
+	}
+	ring, ok := owner.(*ring)
+	if !ok {
+		return
+	}
+	ring.push(pkt)
+}
+
+// ring is a packet ring bound to the server stack ("packet rings ...
+// allow protected buffering of received network packets", Section
+// 5.2.1).
+type ring struct {
+	stack *Stack
+}
+
+func (r *ring) push(pkt *Packet) {
+	s := r.stack
+	s.inbox = append(s.inbox, pkt)
+	if s.env != nil {
+		s.net.K.Wake(s.env)
+	}
+}

@@ -1,0 +1,190 @@
+package netsim
+
+import (
+	"testing"
+
+	"xok/internal/cap"
+	"xok/internal/kernel"
+	"xok/internal/sim"
+)
+
+func testServerConfig() StackConfig {
+	return StackConfig{
+		Name: "test", PerConn: 100 * sim.Microsecond,
+		PerPacket: 20 * sim.Microsecond, AckCost: 5 * sim.Microsecond,
+	}
+}
+
+// serve boots a machine with a fixed-size handler and runs a client
+// pool against it.
+func serve(t *testing.T, cfg StackConfig, body, clients int, dur sim.Time) (*ClientPool, *kernel.Env, *kernel.Kernel) {
+	t.Helper()
+	k := kernel.New(kernel.Config{Name: "net", MemPages: 512})
+	n := New(k)
+	stop := k.Now() + dur
+	pool := n.NewClientPool(clients, body, stop)
+	env := k.Spawn("server", func(e *kernel.Env) {
+		e.Creds = cap.UnixCreds(0)
+		n.Serve(e, cfg, func(*kernel.Env, *Conn) int { return body }, stop)
+	})
+	k.RunUntil(stop)
+	k.Shutdown()
+	return pool, env, k
+}
+
+func TestRequestsComplete(t *testing.T) {
+	pool, _, k := serve(t, testServerConfig(), 1000, 4, 100*sim.Millisecond)
+	if pool.Completed == 0 {
+		t.Fatal("no requests completed")
+	}
+	if pool.Bytes != int64(pool.Completed)*1000 {
+		t.Fatalf("bytes = %d for %d requests", pool.Bytes, pool.Completed)
+	}
+	if pool.MeanLatency() == 0 || pool.LatMax < pool.MeanLatency() {
+		t.Fatalf("latency accounting broken: mean=%v max=%v", pool.MeanLatency(), pool.LatMax)
+	}
+	if k.Stats.Get(sim.CtrPacketsRx) == 0 || k.Stats.Get(sim.CtrPacketsTx) == 0 {
+		t.Fatal("no packets counted")
+	}
+}
+
+func TestThroughputBoundByServerCPU(t *testing.T) {
+	// With per-request CPU of ~260us (conn + 4 packets + acks), the
+	// server cannot exceed ~1/260us requests/sec.
+	cfg := testServerConfig()
+	dur := 200 * sim.Millisecond
+	pool, env, _ := serve(t, cfg, 0, 16, dur)
+	rps := float64(pool.Completed) / dur.Seconds()
+	if rps > 8000 {
+		t.Fatalf("rps = %.0f exceeds the CPU bound", rps)
+	}
+	busy := env.CPUUsed().Seconds() / dur.Seconds()
+	if busy < 0.8 {
+		t.Fatalf("server only %.0f%% busy with 16 clients; should saturate", busy*100)
+	}
+}
+
+func TestLargeDocsBoundByNetwork(t *testing.T) {
+	// A nearly free server pushing 100-KB docs must cap near the
+	// 3-link aggregate bandwidth (37.5 MB/s raw).
+	cfg := StackConfig{Name: "fast", PerConn: 10 * sim.Microsecond,
+		PerPacket: 2 * sim.Microsecond, AckCost: 1 * sim.Microsecond}
+	dur := 200 * sim.Millisecond
+	pool, _, _ := serve(t, cfg, 100_000, 30, dur)
+	mbps := float64(pool.Bytes) / dur.Seconds() / 1e6
+	if mbps < 20 {
+		t.Fatalf("%.1f MB/s: not reaching network saturation", mbps)
+	}
+	if mbps > 38 {
+		t.Fatalf("%.1f MB/s exceeds 3x100Mbit physical capacity", mbps)
+	}
+}
+
+func TestSeparateControlPacketsCostMore(t *testing.T) {
+	base := testServerConfig()
+	dur := 100 * sim.Millisecond
+	merged, _, km := serve(t, base, 100, 8, dur)
+	sep := base
+	sep.SeparateReqAck = true
+	sep.SeparateFIN = true
+	separate, _, ks := serve(t, sep, 100, 8, dur)
+	// Per request, the separate config transmits 2 more server frames.
+	mergedTx := float64(km.Stats.Get(sim.CtrPacketsTx)) / float64(merged.Completed)
+	sepTx := float64(ks.Stats.Get(sim.CtrPacketsTx)) / float64(separate.Completed)
+	if sepTx < mergedTx+1.5 {
+		t.Fatalf("separate-control frames/request = %.2f vs merged %.2f; want ~+2", sepTx, mergedTx)
+	}
+	if separate.Completed >= merged.Completed {
+		t.Fatalf("packet merging should raise throughput: %d vs %d",
+			merged.Completed, separate.Completed)
+	}
+}
+
+func TestForkPerRequestThrottles(t *testing.T) {
+	base := testServerConfig()
+	dur := 100 * sim.Millisecond
+	plain, _, _ := serve(t, base, 0, 8, dur)
+	forky := base
+	forky.ForkPerRequest = sim.CostForkBSD + sim.CostExec
+	forked, _, _ := serve(t, forky, 0, 8, dur)
+	if forked.Completed*2 >= plain.Completed {
+		t.Fatalf("fork-per-request only dropped throughput %d -> %d",
+			plain.Completed, forked.Completed)
+	}
+}
+
+func TestWireTimeSerializesLink(t *testing.T) {
+	eng := sim.NewEngine()
+	l := &Link{eng: eng}
+	var first, second sim.Time
+	l.transmit(toServer, 1460, func() { first = eng.Now() })
+	l.transmit(toServer, 1460, func() { second = eng.Now() })
+	eng.Run()
+	if second <= first {
+		t.Fatal("second frame not serialized behind the first")
+	}
+	gap := second - first
+	wire := sim.WireTime(1460 + ipTCPHeader)
+	if gap != wire {
+		t.Fatalf("inter-frame gap = %v, want one wire time %v", gap, wire)
+	}
+}
+
+func TestPacketHeaderMatchesFilters(t *testing.T) {
+	p := &Packet{SrcPort: 5555, DstPort: 80, Flags: FlagSYN}
+	h := p.Header()
+	if len(h) != 5 || h[0] != 0 || h[1] != 80 || h[2] != 0x15 || h[3] != 0xB3 {
+		t.Fatalf("header = %v", h)
+	}
+	if h[4] != FlagSYN {
+		t.Fatalf("flags byte = %v", h[4])
+	}
+}
+
+func TestLossRecoveredByRetransmission(t *testing.T) {
+	// With ~3% data-segment loss, every request must still complete —
+	// go-back-N retransmission out of the retransmission pool fills
+	// the holes.
+	k := kernel.New(kernel.Config{Name: "net", MemPages: 512})
+	n := New(k)
+	n.LossRate = 32
+	dur := 2 * sim.CPUHz / 5 * sim.Time(1) // 400 ms
+	stop := k.Now() + dur
+	pool := n.NewClientPool(6, 20000, stop)
+	k.Spawn("server", func(e *kernel.Env) {
+		n.Serve(e, testServerConfig(), func(*kernel.Env, *Conn) int { return 20000 }, stop)
+	})
+	k.RunUntil(stop)
+	k.Shutdown()
+	if pool.Completed == 0 {
+		t.Fatal("no requests completed under loss")
+	}
+	if k.Stats.Get(sim.CtrRetransmits) == 0 {
+		t.Fatal("loss recovered without any retransmissions?")
+	}
+	if pool.Bytes != int64(pool.Completed)*20000 {
+		t.Fatalf("byte accounting broken under loss: %d for %d requests",
+			pool.Bytes, pool.Completed)
+	}
+}
+
+func TestLossReducesThroughput(t *testing.T) {
+	measure := func(loss int) int {
+		k := kernel.New(kernel.Config{Name: "net", MemPages: 512})
+		n := New(k)
+		n.LossRate = loss
+		stop := k.Now() + 200*sim.Millisecond
+		pool := n.NewClientPool(8, 10000, stop)
+		k.Spawn("server", func(e *kernel.Env) {
+			n.Serve(e, testServerConfig(), func(*kernel.Env, *Conn) int { return 10000 }, stop)
+		})
+		k.RunUntil(stop)
+		k.Shutdown()
+		return pool.Completed
+	}
+	clean := measure(0)
+	lossy := measure(16) // ~6% loss
+	if lossy >= clean {
+		t.Fatalf("loss did not hurt throughput: %d vs %d", lossy, clean)
+	}
+}

@@ -1,0 +1,228 @@
+package netsim
+
+import (
+	"xok/internal/dpf"
+	"xok/internal/kernel"
+	"xok/internal/sim"
+)
+
+// StackConfig is the server-side protocol cost profile. The five HTTP
+// servers of Figure 3 differ exactly in these knobs:
+//
+//   - the OpenBSD socket stack pays heavy per-packet and
+//     per-connection kernel work, copies every payload into a kernel
+//     retransmission pool and checksums it at send time, and emits
+//     separate control packets (ACK of the request, standalone FIN);
+//   - the XIO-based socket stack on Xok is the same interface with a
+//     leaner user-level implementation (protocol control block reuse,
+//     cheaper crossings);
+//   - Cheetah additionally transmits file data directly from the file
+//     cache with precomputed checksums (no copies, no checksum at
+//     send), and merges control packets into data packets
+//     ("knowledge-based packet merging").
+type StackConfig struct {
+	Name           string
+	PerConn        sim.Time // connection setup/teardown CPU
+	PerPacket      sim.Time // per-segment stack processing
+	AckCost        sim.Time // processing one client ACK
+	CopyOnSend     bool     // copy payloads into a retransmission pool
+	ChecksumOnSend bool     // checksum each segment at send time
+	SeparateReqAck bool     // ACK the request in its own packet
+	SeparateFIN    bool     // FIN as its own packet
+	ForkPerRequest sim.Time // NCSA: fork+exec a handler per request
+}
+
+// Handler produces the response body length for a request and performs
+// the server's file system work in the server environment.
+type Handler func(e *kernel.Env, conn *Conn) int
+
+// flagRetransmit is an internal inbox marker: the RTO timer fired.
+const flagRetransmit uint8 = 0x80
+
+// RTO is the retransmission timeout.
+const RTO = 80 * sim.Millisecond
+
+// Stack is the server's protocol endpoint.
+type Stack struct {
+	net *Net
+	cfg StackConfig
+	env *kernel.Env
+
+	inbox   []*Packet
+	handler Handler
+
+	stopAt sim.Time
+}
+
+// Serve installs the listen filter and runs the server loop in env
+// until stopAt (then the environment exits).
+func (n *Net) Serve(env *kernel.Env, cfg StackConfig, handler Handler, stopAt sim.Time) *Stack {
+	s := &Stack{net: n, cfg: cfg, env: env, handler: handler, stopAt: stopAt}
+	n.stack = s
+	r := &ring{stack: s}
+	listen := &dpf.Filter{Cmps: []dpf.Cmp{dpf.Eq16(0, ServerPort)}}
+	if _, err := n.DPF.Insert(listen, r); err != nil {
+		panic("netsim: listen filter: " + err.Error())
+	}
+	// Stop event so the server wakes up and notices the deadline even
+	// if traffic is in flight.
+	n.Eng.At(stopAt, func() { n.K.Wake(env) })
+	s.loop()
+	return s
+}
+
+// wait blocks the server until a packet arrives or the deadline hits.
+func (s *Stack) wait() *Packet {
+	for len(s.inbox) == 0 {
+		if s.net.Eng.Now() >= s.stopAt {
+			return nil
+		}
+		s.env.Block()
+	}
+	pkt := s.inbox[0]
+	s.inbox = s.inbox[1:]
+	return pkt
+}
+
+func (s *Stack) loop() {
+	for {
+		pkt := s.wait()
+		if pkt == nil {
+			return
+		}
+		if s.net.Eng.Now() >= s.stopAt {
+			return
+		}
+		c := pkt.Conn
+		switch {
+		case pkt.Flags&flagRetransmit != 0:
+			s.retransmit(c)
+		case pkt.Flags&FlagSYN != 0:
+			s.acceptConn(c)
+		case pkt.Payload > 0: // the HTTP request
+			s.serveRequest(c)
+		default: // bare ACK
+			s.env.Use(s.cfg.AckCost)
+			if pkt.Ack > c.srvAcked {
+				c.srvAcked = pkt.Ack
+			}
+			if !c.srvDone && c.srvTotal > 0 && c.srvAcked >= c.srvTotal {
+				s.retireConn(c)
+			}
+		}
+	}
+}
+
+// acceptConn performs the server side of the handshake: PCB setup and
+// a connection-specific packet filter, then SYN-ACK.
+func (s *Stack) acceptConn(c *Conn) {
+	s.env.Use(s.cfg.PerConn)
+	f := &dpf.Filter{Cmps: []dpf.Cmp{
+		dpf.Eq16(0, ServerPort),
+		dpf.Eq16(2, c.clientPort),
+	}}
+	id, err := s.net.DPF.Insert(f, &ring{stack: s})
+	if err == nil {
+		c.filterID = id
+		c.hasFilter = true
+	}
+	c.sendToClient(FlagSYN|FlagACK, 0, 0)
+}
+
+// serveRequest runs the handler and streams the response.
+func (s *Stack) serveRequest(c *Conn) {
+	// Receive-side processing of the request segment.
+	s.env.Use(s.cfg.PerPacket)
+	if s.cfg.CopyOnSend {
+		s.env.Use(sim.CopyCost(requestBytes))
+	}
+	if s.cfg.ForkPerRequest > 0 {
+		s.net.K.Stats.Inc(sim.CtrForks)
+		s.env.Use(s.cfg.ForkPerRequest)
+	}
+	if s.cfg.SeparateReqAck {
+		s.env.Use(s.cfg.PerPacket)
+		c.sendToClient(FlagACK, 0, 0)
+	}
+
+	body := s.handler(s.env, c)
+	c.srvTotal = responseHeader + body
+	c.srvAcked = 0
+	s.sendFrom(c, 0, true)
+	s.armRTO(c)
+}
+
+// sendFrom streams the response from byte offset `from`. On the first
+// transmission copies go into the retransmission pool (socket
+// semantics); on retransmits the pool already holds the bytes — no
+// copy, only (for BSD-style stacks) a fresh checksum.
+func (s *Stack) sendFrom(c *Conn, from int, first bool) {
+	total := c.srvTotal
+	for off := from; off < total; {
+		seg := total - off
+		if seg > MSS {
+			seg = MSS
+		}
+		s.env.Use(s.cfg.PerPacket)
+		if first && s.cfg.CopyOnSend {
+			s.env.Use(sim.CopyCost(seg))
+			s.net.K.Stats.Add(sim.CtrBytesCopied, int64(seg))
+		}
+		if s.cfg.ChecksumOnSend {
+			s.env.Use(sim.ChecksumCost(seg))
+			s.net.K.Stats.Add(sim.CtrChecksums, int64(seg))
+		}
+		flags := FlagACK | FlagPSH
+		if off+seg >= total && !s.cfg.SeparateFIN {
+			flags |= FlagFIN // merged FIN (Cheetah-style)
+		}
+		c.sendToClient(flags, seg, off)
+		off += seg
+	}
+	if s.cfg.SeparateFIN {
+		s.env.Use(s.cfg.PerPacket)
+		c.sendToClient(FlagFIN|FlagACK, 0, total)
+	}
+}
+
+// armRTO schedules the retransmission timer; firing enqueues a marker
+// packet the server loop handles with CPU properly charged.
+func (s *Stack) armRTO(c *Conn) {
+	if c.rto != nil {
+		s.net.Eng.Cancel(c.rto)
+	}
+	c.rto = s.net.Eng.After(RTO, func() {
+		c.rto = nil
+		if c.srvDone || s.net.Eng.Now() >= s.stopAt {
+			return
+		}
+		s.inbox = append(s.inbox, &Packet{Flags: flagRetransmit, Conn: c})
+		s.net.K.Wake(s.env)
+	})
+}
+
+// retransmit resends the unacknowledged tail (go-back-N) out of the
+// retransmission pool.
+func (s *Stack) retransmit(c *Conn) {
+	if c.srvDone || c.srvAcked >= c.srvTotal {
+		return
+	}
+	s.net.K.Stats.Inc(sim.CtrRetransmits)
+	// Align to the segment boundary at or below the cumulative ACK.
+	from := (c.srvAcked / MSS) * MSS
+	s.sendFrom(c, from, false)
+	s.armRTO(c)
+}
+
+// retireConn tears down a fully-acknowledged connection.
+func (s *Stack) retireConn(c *Conn) {
+	c.srvDone = true
+	if c.rto != nil {
+		s.net.Eng.Cancel(c.rto)
+		c.rto = nil
+	}
+	if c.hasFilter {
+		_ = s.net.DPF.Remove(c.filterID)
+		c.hasFilter = false
+	}
+}

@@ -1,0 +1,167 @@
+package sim
+
+import "container/heap"
+
+// Event is a scheduled callback. It is returned by At/After so callers
+// can cancel it before it fires.
+type Event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// At returns the virtual time at which the event is (or was) scheduled
+// to fire.
+func (e *Event) At() Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq // FIFO among simultaneous events
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the discrete-event core: a virtual clock plus a time-ordered
+// event queue. Events scheduled for the same instant fire in scheduling
+// order, so runs are fully deterministic.
+//
+// Engine is not safe for concurrent use; the simulation guarantees that
+// only one goroutine touches it at a time (the kernel's token-handoff
+// protocol, see internal/kernel).
+type Engine struct {
+	now  Time
+	heap eventHeap
+	seq  uint64
+}
+
+// NewEngine returns an engine with the clock at zero and no events.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending reports the number of live (non-cancelled) events queued.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.heap {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// At schedules fn to run when the clock reaches t. Scheduling in the
+// past is a bug in the caller; the engine clamps it to "now" so the
+// event still fires (in order) rather than corrupting the clock.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		t = e.now
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.heap, ev)
+	return ev
+}
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d Time, fn func()) *Event {
+	return e.At(e.now+d, fn)
+}
+
+// Cancel prevents ev from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancelled {
+		return
+	}
+	ev.cancelled = true
+	if ev.index >= 0 {
+		heap.Remove(&e.heap, ev.index)
+		ev.index = -1
+	}
+}
+
+// Step pops and runs the next event, advancing the clock to its time.
+// It reports whether an event ran.
+func (e *Engine) Step() bool {
+	for len(e.heap) > 0 {
+		ev := heap.Pop(&e.heap).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run processes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil processes events with timestamps <= t, then advances the
+// clock to exactly t (if it isn't already past it).
+func (e *Engine) RunUntil(t Time) {
+	for len(e.heap) > 0 {
+		next := e.heap[0]
+		if next.cancelled {
+			heap.Pop(&e.heap)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Advance moves the clock forward by d without processing any events.
+// It must only be used when the caller knows no event falls inside the
+// window; the engine panics otherwise, because silently reordering
+// events would destroy determinism.
+func (e *Engine) Advance(d Time) {
+	target := e.now + d
+	for len(e.heap) > 0 {
+		next := e.heap[0]
+		if next.cancelled {
+			heap.Pop(&e.heap)
+			continue
+		}
+		if next.at < target {
+			panic("sim: Advance would skip a pending event")
+		}
+		break
+	}
+	e.now = target
+}

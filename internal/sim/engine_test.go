@@ -1,0 +1,136 @@
+package sim
+
+import "testing"
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(300, func() { order = append(order, 3) })
+	e.At(100, func() { order = append(order, 1) })
+	e.At(200, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events ran out of order: %v", order)
+	}
+	if e.Now() != 300 {
+		t.Fatalf("clock = %d, want 300", e.Now())
+	}
+}
+
+func TestEngineSimultaneousFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(50, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(10, func() { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Double-cancel and cancel-after-run must be no-ops.
+	e.Cancel(ev)
+	ev2 := e.At(20, func() {})
+	e.Run()
+	e.Cancel(ev2)
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var rec func()
+	rec = func() {
+		count++
+		if count < 5 {
+			e.After(10, rec)
+		}
+	}
+	e.After(10, rec)
+	e.Run()
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("clock = %d, want 50", e.Now())
+	}
+}
+
+func TestEnginePastSchedulingClamped(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {})
+	e.Run()
+	fired := false
+	e.At(50, func() { fired = true }) // in the past; must clamp to now
+	e.Run()
+	if !fired {
+		t.Fatal("past-scheduled event did not fire")
+	}
+	if e.Now() != 100 {
+		t.Fatalf("clock moved backwards: %d", e.Now())
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 10,20", fired)
+	}
+	if e.Now() != 25 {
+		t.Fatalf("clock = %d, want 25", e.Now())
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("remaining events lost: %v", fired)
+	}
+}
+
+func TestEngineAdvancePanicsOverEvent(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance over a pending event did not panic")
+		}
+	}()
+	e.Advance(200)
+}
+
+func TestEngineAdvance(t *testing.T) {
+	e := NewEngine()
+	e.Advance(123)
+	if e.Now() != 123 {
+		t.Fatalf("clock = %d, want 123", e.Now())
+	}
+}
+
+func TestEnginePending(t *testing.T) {
+	e := NewEngine()
+	a := e.At(10, func() {})
+	e.At(20, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Pending())
+	}
+	e.Cancel(a)
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1 after cancel", e.Pending())
+	}
+}

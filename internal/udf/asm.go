@@ -1,0 +1,306 @@
+package udf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates UDF assembly text into a Program. The syntax is
+// line oriented:
+//
+//	; comment (also "#")
+//	label:
+//	    li   r1, 64
+//	    ldw  r2, r0, 12
+//	    blt  r2, r1, done
+//	    emit r2, r3, r4
+//	done:
+//	    ret  r0
+//
+// Registers are r0..r15. Immediates are Go-style integers (decimal,
+// 0x hex, negative). Branches name labels. A label may share a line
+// with an instruction ("loop: addi r1, r1, 1").
+func Assemble(name, src string) (*Program, error) {
+	type pending struct {
+		instr int
+		label string
+		line  int
+	}
+	p := &Program{Name: name}
+	labels := make(map[string]int)
+	var fixups []pending
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		for {
+			colon := strings.Index(line, ":")
+			if colon < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:colon])
+			if !isIdent(label) {
+				return nil, asmErr(lineNo, "bad label %q", label)
+			}
+			if _, dup := labels[label]; dup {
+				return nil, asmErr(lineNo, "duplicate label %q", label)
+			}
+			labels[label] = len(p.Instrs)
+			line = strings.TrimSpace(line[colon+1:])
+		}
+		if line == "" {
+			continue
+		}
+
+		fields := strings.Fields(line)
+		mnemonic := strings.ToLower(fields[0])
+		args := splitArgs(strings.Join(fields[1:], " "))
+		op, ok := opByName(mnemonic)
+		if !ok {
+			return nil, asmErr(lineNo, "unknown mnemonic %q", mnemonic)
+		}
+
+		var in Instr
+		in.Op = op
+		bad := func() error {
+			return asmErr(lineNo, "bad operands for %s: %q", mnemonic, line)
+		}
+		reg := func(s string) (uint8, error) {
+			r, err := parseReg(s)
+			if err != nil {
+				return 0, asmErr(lineNo, "%v", err)
+			}
+			return r, nil
+		}
+		imm := func(s string) (int64, error) {
+			v, err := strconv.ParseInt(s, 0, 64)
+			if err != nil {
+				return 0, asmErr(lineNo, "bad immediate %q", s)
+			}
+			return v, nil
+		}
+
+		var err error
+		switch op {
+		case OpLI, OpENVW: // rd, imm
+			if len(args) != 2 {
+				return nil, bad()
+			}
+			if in.Rd, err = reg(args[0]); err != nil {
+				return nil, err
+			}
+			if in.Imm, err = imm(args[1]); err != nil {
+				return nil, err
+			}
+		case OpMOV: // rd, rs
+			if len(args) != 2 {
+				return nil, bad()
+			}
+			if in.Rd, err = reg(args[0]); err != nil {
+				return nil, err
+			}
+			if in.Rs, err = reg(args[1]); err != nil {
+				return nil, err
+			}
+		case OpADD, OpSUB, OpMUL, OpDIV, OpMOD, OpAND, OpOR, OpXOR, OpSHL, OpSHR:
+			if len(args) != 3 {
+				return nil, bad()
+			}
+			if in.Rd, err = reg(args[0]); err != nil {
+				return nil, err
+			}
+			if in.Rs, err = reg(args[1]); err != nil {
+				return nil, err
+			}
+			if in.Rt, err = reg(args[2]); err != nil {
+				return nil, err
+			}
+		case OpADDI, OpLDB, OpLDW, OpLDQ, OpLDAB, OpLDAW, OpLDAQ: // rd, rs, imm
+			if len(args) != 3 {
+				return nil, bad()
+			}
+			if in.Rd, err = reg(args[0]); err != nil {
+				return nil, err
+			}
+			if in.Rs, err = reg(args[1]); err != nil {
+				return nil, err
+			}
+			if in.Imm, err = imm(args[2]); err != nil {
+				return nil, err
+			}
+		case OpMETA, OpAUX: // rd
+			if len(args) != 1 {
+				return nil, bad()
+			}
+			if in.Rd, err = reg(args[0]); err != nil {
+				return nil, err
+			}
+		case OpEMIT: // rs, rt, ru(->Rd)
+			if len(args) != 3 {
+				return nil, bad()
+			}
+			if in.Rs, err = reg(args[0]); err != nil {
+				return nil, err
+			}
+			if in.Rt, err = reg(args[1]); err != nil {
+				return nil, err
+			}
+			if in.Rd, err = reg(args[2]); err != nil {
+				return nil, err
+			}
+		case OpBEQ, OpBNE, OpBLT, OpBGE: // rs, rt, label
+			if len(args) != 3 {
+				return nil, bad()
+			}
+			if in.Rs, err = reg(args[0]); err != nil {
+				return nil, err
+			}
+			if in.Rt, err = reg(args[1]); err != nil {
+				return nil, err
+			}
+			fixups = append(fixups, pending{len(p.Instrs), args[2], lineNo})
+		case OpJMP: // label
+			if len(args) != 1 {
+				return nil, bad()
+			}
+			fixups = append(fixups, pending{len(p.Instrs), args[0], lineNo})
+		case OpRET: // rs
+			if len(args) != 1 {
+				return nil, bad()
+			}
+			if in.Rs, err = reg(args[0]); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, asmErr(lineNo, "unhandled op %v", op)
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+
+	for _, f := range fixups {
+		target, ok := labels[f.label]
+		if !ok {
+			return nil, asmErr(f.line, "undefined label %q", f.label)
+		}
+		p.Instrs[f.instr].Imm = int64(target)
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble for compile-time-constant sources (template
+// definitions); it panics on error.
+func MustAssemble(name, src string) *Program {
+	p, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Disassemble renders the program back to text (labels synthesized as
+// L<n>). Useful for cmd/udfasm and debugging.
+func Disassemble(p *Program) string {
+	targets := make(map[int]bool)
+	for _, in := range p.Instrs {
+		switch in.Op {
+		case OpBEQ, OpBNE, OpBLT, OpBGE, OpJMP:
+			targets[int(in.Imm)] = true
+		}
+	}
+	var b strings.Builder
+	for i, in := range p.Instrs {
+		if targets[i] {
+			fmt.Fprintf(&b, "L%d:\n", i)
+		}
+		b.WriteString("\t")
+		switch in.Op {
+		case OpLI, OpENVW:
+			fmt.Fprintf(&b, "%s r%d, %d", in.Op, in.Rd, in.Imm)
+		case OpMOV:
+			fmt.Fprintf(&b, "%s r%d, r%d", in.Op, in.Rd, in.Rs)
+		case OpADD, OpSUB, OpMUL, OpDIV, OpMOD, OpAND, OpOR, OpXOR, OpSHL, OpSHR:
+			fmt.Fprintf(&b, "%s r%d, r%d, r%d", in.Op, in.Rd, in.Rs, in.Rt)
+		case OpADDI, OpLDB, OpLDW, OpLDQ, OpLDAB, OpLDAW, OpLDAQ:
+			fmt.Fprintf(&b, "%s r%d, r%d, %d", in.Op, in.Rd, in.Rs, in.Imm)
+		case OpMETA, OpAUX:
+			fmt.Fprintf(&b, "%s r%d", in.Op, in.Rd)
+		case OpEMIT:
+			fmt.Fprintf(&b, "%s r%d, r%d, r%d", in.Op, in.Rs, in.Rt, in.Rd)
+		case OpBEQ, OpBNE, OpBLT, OpBGE:
+			fmt.Fprintf(&b, "%s r%d, r%d, L%d", in.Op, in.Rs, in.Rt, in.Imm)
+		case OpJMP:
+			fmt.Fprintf(&b, "%s L%d", in.Op, in.Imm)
+		case OpRET:
+			fmt.Fprintf(&b, "%s r%d", in.Op, in.Rs)
+		}
+		if targets[len(p.Instrs)] && i == len(p.Instrs)-1 {
+			// branch to end; label emitted below
+		}
+		b.WriteString("\n")
+	}
+	if targets[len(p.Instrs)] {
+		fmt.Fprintf(&b, "L%d:\n", len(p.Instrs))
+	}
+	return b.String()
+}
+
+func opByName(name string) (Op, bool) {
+	for op, n := range opNames {
+		if n == name {
+			return Op(op), true
+		}
+	}
+	return 0, false
+}
+
+func parseReg(s string) (uint8, error) {
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func splitArgs(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func asmErr(line int, format string, args ...any) error {
+	return fmt.Errorf("udf: line %d: %s", line+1, fmt.Sprintf(format, args...))
+}

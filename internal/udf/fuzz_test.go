@@ -1,0 +1,140 @@
+package udf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// The kernel interprets UDFs supplied by arbitrary untrusted libFSes:
+// no program that passes Verify may crash the interpreter, run outside
+// its fuel, or touch memory outside its inputs. These fuzz tests throw
+// random (but structurally valid) programs and random raw instruction
+// streams at the verifier+interpreter pair.
+
+// randomProgram builds an arbitrary instruction sequence from raw
+// fuzz bytes. Opcodes/registers/targets are taken modulo their valid
+// ranges so Verify accepts most of them; the interpreter must then
+// survive whatever they do.
+func randomProgram(raw []byte) *Program {
+	p := &Program{Name: "fuzz"}
+	for i := 0; i+5 <= len(raw) && len(p.Instrs) < 64; i += 5 {
+		in := Instr{
+			Op: Op(raw[i] % uint8(opCount)),
+			Rd: raw[i+1] % NumRegs,
+			Rs: raw[i+2] % NumRegs,
+			Rt: raw[i+3] % NumRegs,
+		}
+		// Zero the fields each op does not encode, so the text form is
+		// lossless (Disassemble only prints meaningful operands).
+		switch in.Op {
+		case OpBEQ, OpBNE, OpBLT, OpBGE:
+			in.Rd = 0
+			in.Imm = int64(raw[i+4]) % int64(len(raw)/5+1)
+		case OpJMP:
+			in.Rd, in.Rs, in.Rt = 0, 0, 0
+			in.Imm = int64(raw[i+4]) % int64(len(raw)/5+1)
+		case OpLI, OpENVW:
+			in.Rs, in.Rt = 0, 0
+			in.Imm = int64(int8(raw[i+4]))
+		case OpADDI, OpLDB, OpLDW, OpLDQ, OpLDAB, OpLDAW, OpLDAQ:
+			in.Rt = 0
+			in.Imm = int64(int8(raw[i+4]))
+		case OpMOV:
+			in.Rt = 0
+		case OpMETA, OpAUX:
+			in.Rs, in.Rt = 0, 0
+		case OpRET:
+			in.Rd, in.Rt = 0, 0
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+	p.Instrs = append(p.Instrs, Instr{Op: OpRET})
+	return p
+}
+
+func TestFuzzInterpreterNeverPanics(t *testing.T) {
+	f := func(raw []byte, meta []byte, aux []byte) bool {
+		if len(meta) > 256 {
+			meta = meta[:256]
+		}
+		if len(aux) > 64 {
+			aux = aux[:64]
+		}
+		p := randomProgram(raw)
+		if err := Verify(p, false); err != nil {
+			return true // rejected programs never run
+		}
+		res, err := Run(p, meta, aux, Env{1, 2, 3, 4}, 2000)
+		if err != nil {
+			return true // controlled abort is fine
+		}
+		// Bounded execution and output.
+		return res.Steps <= 2000 && len(res.Extents) <= MaxExtents
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFuzzDeterministicProgramsAreDeterministic(t *testing.T) {
+	// Any program Verify accepts as deterministic must produce
+	// identical results on identical inputs — the property XN's
+	// security depends on.
+	f := func(raw []byte, meta []byte) bool {
+		if len(meta) > 256 {
+			meta = meta[:256]
+		}
+		p := randomProgram(raw)
+		if err := Verify(p, true); err != nil {
+			return true
+		}
+		r1, e1 := Run(p, meta, nil, nil, 2000)
+		r2, e2 := Run(p, meta, nil, nil, 2000)
+		if (e1 == nil) != (e2 == nil) {
+			return false
+		}
+		if e1 != nil {
+			return e1.Error() == e2.Error()
+		}
+		if r1.Ret != r2.Ret || r1.Steps != r2.Steps || len(r1.Extents) != len(r2.Extents) {
+			return false
+		}
+		for i := range r1.Extents {
+			if r1.Extents[i] != r2.Extents[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFuzzAssemblerRoundTrip(t *testing.T) {
+	// Disassemble(assembleable program) must reassemble to identical
+	// instructions.
+	f := func(raw []byte) bool {
+		p := randomProgram(raw)
+		if err := Verify(p, false); err != nil {
+			return true
+		}
+		text := Disassemble(p)
+		p2, err := Assemble("rt", text)
+		if err != nil {
+			return false
+		}
+		if len(p.Instrs) != len(p2.Instrs) {
+			return false
+		}
+		for i := range p.Instrs {
+			if p.Instrs[i] != p2.Instrs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

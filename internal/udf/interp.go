@@ -1,0 +1,190 @@
+package udf
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Interpretation errors. All of them are deterministic functions of the
+// program and its inputs, so a hostile UDF cannot leak information
+// through error timing.
+var (
+	ErrFuel        = errors.New("udf: fuel exhausted")
+	ErrOOB         = errors.New("udf: memory access out of bounds")
+	ErrDivZero     = errors.New("udf: division by zero")
+	ErrFellOffEnd  = errors.New("udf: execution fell off program end")
+	ErrEmitsBounds = errors.New("udf: too many extents emitted")
+)
+
+// Limits on one interpretation.
+const (
+	// DefaultFuel bounds interpreted instructions per run. Template
+	// UDFs over one 4-KB metadata block touch each pointer a constant
+	// number of times, so this is roomy.
+	DefaultFuel = 100_000
+
+	// MaxExtents bounds owns-udf output size.
+	MaxExtents = 2048
+)
+
+// Env carries the nondeterministic inputs available to acl-uf and
+// size-uf via ENVW (e.g. the time of day, credential digests). Index 0
+// is conventionally the current time in seconds.
+type Env []int64
+
+// Run interprets p over the given inputs:
+//
+//	meta — the metadata bytes (LD* loads)
+//	aux  — the proposed modification or other secondary input (LDA*)
+//	env  — ENVW-visible words (nil for deterministic runs)
+//
+// fuel <= 0 selects DefaultFuel.
+func Run(p *Program, meta, aux []byte, env Env, fuel int) (Result, error) {
+	if fuel <= 0 {
+		fuel = DefaultFuel
+	}
+	var res Result
+	var regs [NumRegs]int64
+	pc := 0
+	for {
+		if pc == len(p.Instrs) {
+			return res, ErrFellOffEnd
+		}
+		if pc < 0 || pc > len(p.Instrs) {
+			return res, fmt.Errorf("udf: pc %d out of range", pc)
+		}
+		if res.Steps >= fuel {
+			return res, ErrFuel
+		}
+		res.Steps++
+		in := p.Instrs[pc]
+		pc++
+		switch in.Op {
+		case OpLI:
+			regs[in.Rd] = in.Imm
+		case OpMOV:
+			regs[in.Rd] = regs[in.Rs]
+		case OpADD:
+			regs[in.Rd] = regs[in.Rs] + regs[in.Rt]
+		case OpSUB:
+			regs[in.Rd] = regs[in.Rs] - regs[in.Rt]
+		case OpMUL:
+			regs[in.Rd] = regs[in.Rs] * regs[in.Rt]
+		case OpDIV:
+			if regs[in.Rt] == 0 {
+				return res, ErrDivZero
+			}
+			regs[in.Rd] = regs[in.Rs] / regs[in.Rt]
+		case OpMOD:
+			if regs[in.Rt] == 0 {
+				return res, ErrDivZero
+			}
+			regs[in.Rd] = regs[in.Rs] % regs[in.Rt]
+		case OpAND:
+			regs[in.Rd] = regs[in.Rs] & regs[in.Rt]
+		case OpOR:
+			regs[in.Rd] = regs[in.Rs] | regs[in.Rt]
+		case OpXOR:
+			regs[in.Rd] = regs[in.Rs] ^ regs[in.Rt]
+		case OpSHL:
+			regs[in.Rd] = regs[in.Rs] << (uint64(regs[in.Rt]) & 63)
+		case OpSHR:
+			regs[in.Rd] = int64(uint64(regs[in.Rs]) >> (uint64(regs[in.Rt]) & 63))
+		case OpADDI:
+			regs[in.Rd] = regs[in.Rs] + in.Imm
+		case OpLDB:
+			v, err := load(meta, regs[in.Rs]+in.Imm, 1)
+			if err != nil {
+				return res, err
+			}
+			regs[in.Rd] = v
+		case OpLDW:
+			v, err := load(meta, regs[in.Rs]+in.Imm, 4)
+			if err != nil {
+				return res, err
+			}
+			regs[in.Rd] = v
+		case OpLDQ:
+			v, err := load(meta, regs[in.Rs]+in.Imm, 8)
+			if err != nil {
+				return res, err
+			}
+			regs[in.Rd] = v
+		case OpLDAB:
+			v, err := load(aux, regs[in.Rs]+in.Imm, 1)
+			if err != nil {
+				return res, err
+			}
+			regs[in.Rd] = v
+		case OpLDAW:
+			v, err := load(aux, regs[in.Rs]+in.Imm, 4)
+			if err != nil {
+				return res, err
+			}
+			regs[in.Rd] = v
+		case OpLDAQ:
+			v, err := load(aux, regs[in.Rs]+in.Imm, 8)
+			if err != nil {
+				return res, err
+			}
+			regs[in.Rd] = v
+		case OpMETA:
+			regs[in.Rd] = int64(len(meta))
+		case OpAUX:
+			regs[in.Rd] = int64(len(aux))
+		case OpENVW:
+			if in.Imm < 0 || in.Imm >= int64(len(env)) {
+				return res, ErrOOB
+			}
+			regs[in.Rd] = env[in.Imm]
+		case OpEMIT:
+			if len(res.Extents) >= MaxExtents {
+				return res, ErrEmitsBounds
+			}
+			res.Extents = append(res.Extents, Extent{
+				Start: regs[in.Rs],
+				Count: regs[in.Rt],
+				Type:  regs[in.Rd],
+			})
+		case OpBEQ:
+			if regs[in.Rs] == regs[in.Rt] {
+				pc = int(in.Imm)
+			}
+		case OpBNE:
+			if regs[in.Rs] != regs[in.Rt] {
+				pc = int(in.Imm)
+			}
+		case OpBLT:
+			if regs[in.Rs] < regs[in.Rt] {
+				pc = int(in.Imm)
+			}
+		case OpBGE:
+			if regs[in.Rs] >= regs[in.Rt] {
+				pc = int(in.Imm)
+			}
+		case OpJMP:
+			pc = int(in.Imm)
+		case OpRET:
+			res.Ret = regs[in.Rs]
+			return res, nil
+		default:
+			return res, fmt.Errorf("udf: invalid opcode %d at pc %d", in.Op, pc-1)
+		}
+	}
+}
+
+func load(buf []byte, off int64, size int) (int64, error) {
+	if off < 0 || off+int64(size) > int64(len(buf)) {
+		return 0, ErrOOB
+	}
+	switch size {
+	case 1:
+		return int64(buf[off]), nil
+	case 4:
+		return int64(binary.LittleEndian.Uint32(buf[off:])), nil
+	case 8:
+		return int64(binary.LittleEndian.Uint64(buf[off:])), nil
+	}
+	panic("udf: bad load size")
+}

@@ -1,0 +1,117 @@
+// Package udf implements the paper's UDFs — untrusted deterministic
+// functions (Section 4.1), the cornerstone of XN. A UDF is a small
+// program in a restricted pseudo-RISC assembly language that the kernel
+// can interpret over a piece of file-system metadata without
+// understanding the metadata's layout.
+//
+// Each XN template carries three functions written in this language:
+//
+//   - owns-udf  — maps metadata to the set of (start, count, type)
+//     disk extents it points to. Must be deterministic: the verifier
+//     rejects programs that read anything but their inputs.
+//   - acl-uf    — approves or rejects a proposed modification, given
+//     credentials. May be nondeterministic (may read the environment,
+//     e.g. the time of day).
+//   - size-uf   — returns the byte size of a metadata structure.
+//
+// The package provides the instruction set, a text assembler, the
+// kernel-side verifier, and the interpreter. Interpretation is fuel
+// limited so a hostile UDF cannot hang the kernel, and the interpreter
+// reports the instruction count so XN can charge CPU time for it.
+package udf
+
+import "fmt"
+
+// NumRegs is the register-file size.
+const NumRegs = 16
+
+// Op is an opcode.
+type Op uint8
+
+// The instruction set. Loads read the primary metadata buffer; LDA*
+// variants read the auxiliary buffer (the proposed modification handed
+// to acl-uf). ENVW is the only nondeterministic instruction.
+const (
+	OpLI   Op = iota // li   rd, imm        rd = imm
+	OpMOV            // mov  rd, rs         rd = rs
+	OpADD            // add  rd, rs, rt
+	OpSUB            // sub  rd, rs, rt
+	OpMUL            // mul  rd, rs, rt
+	OpDIV            // div  rd, rs, rt     (divide by zero aborts)
+	OpMOD            // mod  rd, rs, rt
+	OpAND            // and  rd, rs, rt
+	OpOR             // or   rd, rs, rt
+	OpXOR            // xor  rd, rs, rt
+	OpSHL            // shl  rd, rs, rt
+	OpSHR            // shr  rd, rs, rt     (logical)
+	OpADDI           // addi rd, rs, imm
+	OpLDB            // ldb  rd, rs, imm    rd = meta[rs+imm] (byte)
+	OpLDW            // ldw  rd, rs, imm    rd = le32(meta[rs+imm:])
+	OpLDQ            // ldq  rd, rs, imm    rd = le64(meta[rs+imm:])
+	OpLDAB           // ldab rd, rs, imm    rd = aux[rs+imm] (byte)
+	OpLDAW           // ldaw rd, rs, imm    rd = le32(aux[rs+imm:])
+	OpLDAQ           // ldaq rd, rs, imm    rd = le64(aux[rs+imm:])
+	OpMETA           // meta rd             rd = len(meta)
+	OpAUX            // aux  rd             rd = len(aux)
+	OpENVW           // envw rd, imm        rd = env[imm]  (NONDETERMINISTIC)
+	OpEMIT           // emit rs, rt, ru     emit extent (start, count, type)
+	OpBEQ            // beq  rs, rt, label
+	OpBNE            // bne  rs, rt, label
+	OpBLT            // blt  rs, rt, label  (signed)
+	OpBGE            // bge  rs, rt, label  (signed)
+	OpJMP            // jmp  label
+	OpRET            // ret  rs             return rs
+	opCount
+)
+
+var opNames = [...]string{
+	OpLI: "li", OpMOV: "mov", OpADD: "add", OpSUB: "sub", OpMUL: "mul",
+	OpDIV: "div", OpMOD: "mod", OpAND: "and", OpOR: "or", OpXOR: "xor",
+	OpSHL: "shl", OpSHR: "shr", OpADDI: "addi", OpLDB: "ldb",
+	OpLDW: "ldw", OpLDQ: "ldq", OpLDAB: "ldab", OpLDAW: "ldaw",
+	OpLDAQ: "ldaq", OpMETA: "meta", OpAUX: "aux", OpENVW: "envw",
+	OpEMIT: "emit", OpBEQ: "beq", OpBNE: "bne", OpBLT: "blt",
+	OpBGE: "bge", OpJMP: "jmp", OpRET: "ret",
+}
+
+// String returns the mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Instr is one decoded instruction. Branch targets are absolute
+// instruction indices stored in Imm.
+type Instr struct {
+	Op         Op
+	Rd, Rs, Rt uint8
+	Imm        int64
+}
+
+// Program is an assembled UDF.
+type Program struct {
+	Name   string
+	Instrs []Instr
+}
+
+// Len returns the instruction count.
+func (p *Program) Len() int { return len(p.Instrs) }
+
+// Extent is one tuple of owns-udf output: "a block address that
+// specifies the start of the range, the number of blocks in the range,
+// and the template identifier for the blocks in the range"
+// (Section 4.1).
+type Extent struct {
+	Start int64
+	Count int64
+	Type  int64
+}
+
+// Result is an interpretation outcome.
+type Result struct {
+	Ret     int64    // value passed to ret
+	Extents []Extent // extents emitted (owns-udf output)
+	Steps   int      // instructions executed, for CPU accounting
+}

@@ -1,0 +1,357 @@
+package udf
+
+import (
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func run(t *testing.T, src string, meta, aux []byte, env Env) Result {
+	t.Helper()
+	p, err := Assemble("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, meta, aux, env, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestArithmetic(t *testing.T) {
+	res := run(t, `
+		li  r1, 6
+		li  r2, 7
+		mul r3, r1, r2
+		addi r3, r3, -2
+		ret r3
+	`, nil, nil, nil)
+	if res.Ret != 40 {
+		t.Fatalf("ret = %d, want 40", res.Ret)
+	}
+	if res.Steps != 5 {
+		t.Fatalf("steps = %d, want 5", res.Steps)
+	}
+}
+
+func TestAllALUOps(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"li r1, 10\nli r2, 3\nsub r3, r1, r2\nret r3", 7},
+		{"li r1, 10\nli r2, 3\ndiv r3, r1, r2\nret r3", 3},
+		{"li r1, 10\nli r2, 3\nmod r3, r1, r2\nret r3", 1},
+		{"li r1, 12\nli r2, 10\nand r3, r1, r2\nret r3", 8},
+		{"li r1, 12\nli r2, 10\nor r3, r1, r2\nret r3", 14},
+		{"li r1, 12\nli r2, 10\nxor r3, r1, r2\nret r3", 6},
+		{"li r1, 3\nli r2, 4\nshl r3, r1, r2\nret r3", 48},
+		{"li r1, 48\nli r2, 4\nshr r3, r1, r2\nret r3", 3},
+		{"li r1, 5\nmov r2, r1\nret r2", 5},
+	}
+	for _, c := range cases {
+		if got := run(t, c.src, nil, nil, nil).Ret; got != c.want {
+			t.Errorf("%q = %d, want %d", c.src, got, c.want)
+		}
+	}
+}
+
+func TestLoadsLittleEndian(t *testing.T) {
+	meta := make([]byte, 16)
+	meta[0] = 0xAB
+	binary.LittleEndian.PutUint32(meta[4:], 0xDEADBEEF)
+	binary.LittleEndian.PutUint64(meta[8:], 0x0102030405060708)
+	res := run(t, `
+		li  r0, 0
+		ldb r1, r0, 0
+		ldw r2, r0, 4
+		ldq r3, r0, 8
+		add r4, r1, r2
+		add r4, r4, r3
+		ret r4
+	`, meta, nil, nil)
+	want := int64(0xAB) + int64(0xDEADBEEF) + int64(0x0102030405060708)
+	if res.Ret != want {
+		t.Fatalf("ret = %d, want %d", res.Ret, want)
+	}
+}
+
+func TestAuxLoadsAndLengths(t *testing.T) {
+	meta := make([]byte, 10)
+	aux := make([]byte, 20)
+	aux[3] = 9
+	res := run(t, `
+		meta r1
+		aux  r2
+		li   r0, 0
+		ldab r3, r0, 3
+		add  r4, r1, r2
+		add  r4, r4, r3
+		ret  r4
+	`, meta, aux, nil)
+	if res.Ret != 10+20+9 {
+		t.Fatalf("ret = %d", res.Ret)
+	}
+}
+
+func TestLoopWithBackwardBranch(t *testing.T) {
+	// Sum meta[0..n) bytes.
+	meta := []byte{1, 2, 3, 4, 5}
+	res := run(t, `
+		li   r1, 0      ; i
+		li   r2, 0      ; sum
+		meta r3
+	loop:
+		bge  r1, r3, done
+		ldb  r4, r1, 0
+		add  r2, r2, r4
+		addi r1, r1, 1
+		jmp  loop
+	done:
+		ret  r2
+	`, meta, nil, nil)
+	if res.Ret != 15 {
+		t.Fatalf("sum = %d, want 15", res.Ret)
+	}
+}
+
+func TestEmitExtents(t *testing.T) {
+	res := run(t, `
+		li r1, 100
+		li r2, 8
+		li r3, 2
+		emit r1, r2, r3
+		li r1, 500
+		li r2, 1
+		emit r1, r2, r3
+		li r0, 2
+		ret r0
+	`, nil, nil, nil)
+	if len(res.Extents) != 2 {
+		t.Fatalf("extents = %v", res.Extents)
+	}
+	if res.Extents[0] != (Extent{100, 8, 2}) || res.Extents[1] != (Extent{500, 1, 2}) {
+		t.Fatalf("extents = %v", res.Extents)
+	}
+}
+
+func TestEnvw(t *testing.T) {
+	res := run(t, "envw r1, 0\nret r1", nil, nil, Env{777})
+	if res.Ret != 777 {
+		t.Fatalf("ret = %d", res.Ret)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		meta []byte
+		env  Env
+		want error
+	}{
+		{"li r1, 0\nli r2, 0\ndiv r3, r1, r2\nret r1", nil, nil, ErrDivZero},
+		{"li r1, 0\nli r2, 0\nmod r3, r1, r2\nret r1", nil, nil, ErrDivZero},
+		{"li r0, 100\nldb r1, r0, 0\nret r1", []byte{1}, nil, ErrOOB},
+		{"li r0, -1\nldb r1, r0, 0\nret r1", []byte{1}, nil, ErrOOB},
+		{"li r0, 0\nldw r1, r0, 0\nret r1", []byte{1, 2}, nil, ErrOOB},
+		{"envw r1, 5\nret r1", nil, Env{1}, ErrOOB},
+		{"li r1, 1", nil, nil, ErrFellOffEnd},
+		{"loop: jmp loop", nil, nil, ErrFuel},
+	}
+	for _, c := range cases {
+		p, err := Assemble("t", c.src)
+		if err != nil {
+			t.Fatalf("assemble %q: %v", c.src, err)
+		}
+		_, err = Run(p, c.meta, nil, c.env, 1000)
+		if !errors.Is(err, c.want) {
+			t.Errorf("%q: err = %v, want %v", c.src, err, c.want)
+		}
+	}
+}
+
+func TestEmitBound(t *testing.T) {
+	p := MustAssemble("spam", `
+		li r1, 1
+	loop:
+		emit r1, r1, r1
+		jmp loop
+	`)
+	_, err := Run(p, nil, nil, nil, DefaultFuel)
+	if !errors.Is(err, ErrEmitsBounds) && !errors.Is(err, ErrFuel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	bad := []string{
+		"frob r1, r2",            // unknown mnemonic
+		"li r16, 0",              // bad register
+		"li rx, 0",               // bad register
+		"li r1",                  // missing operand
+		"li r1, zzz",             // bad immediate
+		"jmp nowhere",            // undefined label
+		"x: li r1, 0\nx: ret r1", // duplicate label
+		"9bad: ret r1",           // bad label
+		"add r1, r2",             // arity
+	}
+	for _, src := range bad {
+		if _, err := Assemble("t", src); err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestVerifyDeterminism(t *testing.T) {
+	det := MustAssemble("d", "li r1, 1\nret r1")
+	if err := Verify(det, true); err != nil {
+		t.Fatalf("deterministic program rejected: %v", err)
+	}
+	nondet := MustAssemble("n", "envw r1, 0\nret r1")
+	if err := Verify(nondet, true); !errors.Is(err, ErrNondeterministic) {
+		t.Fatalf("ENVW accepted in deterministic context: %v", err)
+	}
+	if err := Verify(nondet, false); err != nil {
+		t.Fatalf("ENVW rejected in acl context: %v", err)
+	}
+}
+
+func TestVerifyBounds(t *testing.T) {
+	if err := Verify(&Program{}, true); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("empty: %v", err)
+	}
+	long := &Program{Instrs: make([]Instr, MaxProgramLen+1)}
+	for i := range long.Instrs {
+		long.Instrs[i] = Instr{Op: OpRET}
+	}
+	if err := Verify(long, true); !errors.Is(err, ErrTooLong) {
+		t.Fatalf("too long: %v", err)
+	}
+	badBranch := &Program{Instrs: []Instr{{Op: OpJMP, Imm: 99}}}
+	if err := Verify(badBranch, true); err == nil {
+		t.Fatal("out-of-range branch accepted")
+	}
+	badReg := &Program{Instrs: []Instr{{Op: OpLI, Rd: 99}}}
+	if err := Verify(badReg, true); err == nil {
+		t.Fatal("bad register accepted")
+	}
+	badOp := &Program{Instrs: []Instr{{Op: opCount}}}
+	if err := Verify(badOp, true); err == nil {
+		t.Fatal("bad opcode accepted")
+	}
+}
+
+func TestDeterminismProperty(t *testing.T) {
+	// The core UDF guarantee: same metadata in, same result out —
+	// run twice over random metadata and compare everything.
+	sum := MustAssemble("sum", `
+		li   r1, 0
+		li   r2, 0
+		meta r3
+	loop:
+		bge  r1, r3, done
+		ldb  r4, r1, 0
+		add  r2, r2, r4
+		li   r5, 16
+		mod  r6, r4, r5
+		emit r4, r6, r1
+		addi r1, r1, 1
+		jmp  loop
+	done:
+		ret  r2
+	`)
+	f := func(meta []byte) bool {
+		if len(meta) > 512 {
+			meta = meta[:512]
+		}
+		a, errA := Run(sum, meta, nil, nil, 0)
+		b, errB := Run(sum, meta, nil, nil, 0)
+		if (errA == nil) != (errB == nil) {
+			return false
+		}
+		if errA != nil {
+			return true
+		}
+		if a.Ret != b.Ret || a.Steps != b.Steps || len(a.Extents) != len(b.Extents) {
+			return false
+		}
+		for i := range a.Extents {
+			if a.Extents[i] != b.Extents[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	src := `
+		li   r1, 0
+		li   r2, 0
+		meta r3
+	loop:
+		bge  r1, r3, done
+		ldb  r4, r1, 0
+		add  r2, r2, r4
+		addi r1, r1, 1
+		emit r1, r2, r3
+		jmp  loop
+	done:
+		ret  r2
+	`
+	p1 := MustAssemble("rt", src)
+	text := Disassemble(p1)
+	p2, err := Assemble("rt2", text)
+	if err != nil {
+		t.Fatalf("reassemble failed: %v\n%s", err, text)
+	}
+	if len(p1.Instrs) != len(p2.Instrs) {
+		t.Fatalf("instruction count changed: %d vs %d", len(p1.Instrs), len(p2.Instrs))
+	}
+	for i := range p1.Instrs {
+		if p1.Instrs[i] != p2.Instrs[i] {
+			t.Fatalf("instr %d changed: %+v vs %+v", i, p1.Instrs[i], p2.Instrs[i])
+		}
+	}
+	meta := []byte{3, 1, 4, 1, 5}
+	r1, _ := Run(p1, meta, nil, nil, 0)
+	r2, _ := Run(p2, meta, nil, nil, 0)
+	if r1.Ret != r2.Ret {
+		t.Fatal("semantics changed across round trip")
+	}
+}
+
+func TestLabelOnSameLine(t *testing.T) {
+	res := run(t, "start: li r1, 3\nret r1", nil, nil, nil)
+	if res.Ret != 3 {
+		t.Fatalf("ret = %d", res.Ret)
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	res := run(t, `
+		; full-line comment
+		# hash comment
+
+		li r1, 2   ; trailing comment
+		ret r1     # another
+	`, nil, nil, nil)
+	if res.Ret != 2 {
+		t.Fatalf("ret = %d", res.Ret)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpADD.String() != "add" {
+		t.Fatal("OpADD name")
+	}
+	if !strings.Contains(Op(200).String(), "200") {
+		t.Fatal("unknown op name")
+	}
+}

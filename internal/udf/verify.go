@@ -1,0 +1,58 @@
+package udf
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Verification errors.
+var (
+	ErrNondeterministic = errors.New("udf: nondeterministic instruction in deterministic context")
+	ErrEmpty            = errors.New("udf: empty program")
+	ErrTooLong          = errors.New("udf: program exceeds length limit")
+)
+
+// MaxProgramLen bounds template size; templates are installed once and
+// persist on disk, so the bound is generous.
+const MaxProgramLen = 4096
+
+// Verify is the kernel-side check run when a template is installed
+// ("the limited language used to write these functions is ... checked
+// by the kernel to ensure determinacy", Section 4.1). It validates:
+//
+//   - every opcode, register index and branch target;
+//   - that deterministic programs (owns-udf) contain no ENVW — their
+//     output may depend only on the metadata input, so XN "cannot be
+//     spoofed by owns-udf";
+//   - the length bound.
+//
+// Termination is enforced separately by the interpreter's fuel limit;
+// determinism is a property of the *instruction set* reachable here,
+// not of termination.
+func Verify(p *Program, deterministic bool) error {
+	if p == nil || len(p.Instrs) == 0 {
+		return ErrEmpty
+	}
+	if len(p.Instrs) > MaxProgramLen {
+		return ErrTooLong
+	}
+	for i, in := range p.Instrs {
+		if in.Op >= opCount {
+			return fmt.Errorf("udf: instr %d: invalid opcode %d", i, in.Op)
+		}
+		if in.Rd >= NumRegs || in.Rs >= NumRegs || in.Rt >= NumRegs {
+			return fmt.Errorf("udf: instr %d: register out of range", i)
+		}
+		switch in.Op {
+		case OpENVW:
+			if deterministic {
+				return fmt.Errorf("%w (instr %d)", ErrNondeterministic, i)
+			}
+		case OpBEQ, OpBNE, OpBLT, OpBGE, OpJMP:
+			if in.Imm < 0 || in.Imm > int64(len(p.Instrs)) {
+				return fmt.Errorf("udf: instr %d: branch target %d out of range", i, in.Imm)
+			}
+		}
+	}
+	return nil
+}

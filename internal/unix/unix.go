@@ -1,0 +1,91 @@
+// Package unix defines the POSIX-flavored process interface that the
+// simulated applications (internal/apps) are written against. The same
+// application binaries — cp, gzip, pax, gcc, diff, ... — run unmodified
+// on every OS personality in the repository:
+//
+//   - internal/exos: the ExOS library operating system on Xok, where
+//     these calls are unprivileged library code;
+//   - internal/bsdos: the monolithic FreeBSD/OpenBSD models, where
+//     every call traps into the kernel.
+//
+// This mirrors the paper's methodology: identical unmodified UNIX
+// applications measured across Xok/ExOS, OpenBSD/C-FFS, OpenBSD and
+// FreeBSD (Section 6).
+package unix
+
+import "xok/internal/sim"
+
+// FD is a file descriptor: a small integer naming an entry in the
+// process's descriptor table.
+type FD int
+
+// Whence values for Seek.
+const (
+	SeekSet = 0
+	SeekCur = 1
+	SeekEnd = 2
+)
+
+// Stat describes a file.
+type Stat struct {
+	Size  int64
+	Mode  uint32
+	UID   uint32
+	GID   uint32
+	MTime uint32
+	IsDir bool
+}
+
+// DirEnt is one directory entry.
+type DirEnt struct {
+	Name  string
+	IsDir bool
+	Size  int64
+}
+
+// Handle represents a spawned child process.
+type Handle interface {
+	// Wait blocks until the child exits.
+	Wait()
+}
+
+// Proc is the interface one running process sees. Implementations are
+// not safe for concurrent use: a process is single-threaded and its
+// methods may only be called from its own body function.
+type Proc interface {
+	// Getpid returns the process id (the classic "trivial syscall"
+	// microbenchmark, Section 7.1).
+	Getpid() int
+
+	// UID returns the user the process runs as.
+	UID() uint16
+
+	// Compute charges pure CPU work (application computation between
+	// I/O operations).
+	Compute(cycles sim.Time)
+
+	// Now returns the current virtual time.
+	Now() sim.Time
+
+	// Files.
+	Open(path string) (FD, error)
+	Create(path string, mode uint32) (FD, error)
+	Read(fd FD, buf []byte) (int, error)
+	Write(fd FD, buf []byte) (int, error)
+	Seek(fd FD, off int64, whence int) (int64, error)
+	Close(fd FD) error
+	Stat(path string) (Stat, error)
+	Mkdir(path string, mode uint32) error
+	Readdir(path string) ([]DirEnt, error)
+	Unlink(path string) error
+	Rmdir(path string) error
+	Rename(oldPath, newPath string) error
+	Sync() error
+
+	// Pipe creates a connected read/write descriptor pair.
+	Pipe() (r, w FD, err error)
+
+	// Spawn forks and execs a child running f; the cost model charges
+	// the personality's fork+exec price.
+	Spawn(name string, f func(Proc)) (Handle, error)
+}

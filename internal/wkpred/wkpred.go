@@ -1,0 +1,233 @@
+// Package wkpred implements Xok's wakeup predicates (Section 5.1):
+// "small, kernel-downloaded functions that wake up processes when
+// arbitrary conditions become true". A sleeping environment downloads a
+// predicate; the kernel evaluates it whenever the environment is about
+// to be scheduled and skips the environment while the predicate is
+// false.
+//
+// Following the paper, the language is deliberately tiny — boolean
+// combinations of comparisons over bound words, with no loops — which
+// is what makes the kernel's evaluator trivial to control ("careful
+// language design (no loops and easy to understand operations) allows
+// predicates to be easily controlled"; the original implementation was
+// fewer than 200 lines). Predicates may compare against the system
+// clock to bound how long they sleep, and composition with And/Or
+// "allows atomic checking of disjoint data structures".
+//
+// Address binding: on real Xok, predicate virtual addresses are
+// pre-translated to physical addresses when the predicate is
+// downloaded. The simulation's equivalent is binding to *int64 words at
+// compile time — evaluation involves no lookups, just loads.
+package wkpred
+
+import (
+	"errors"
+
+	"xok/internal/sim"
+)
+
+// CmpOp is a comparison operator.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+// Node is a predicate expression node. Nodes are built with the
+// constructor functions below and compiled with Compile.
+type Node struct {
+	kind  nodeKind
+	op    CmpOp
+	a, b  *Node
+	word  *int64
+	value int64
+}
+
+type nodeKind uint8
+
+const (
+	kindConst nodeKind = iota
+	kindLoad
+	kindClock
+	kindCmp
+	kindAnd
+	kindOr
+	kindNot
+)
+
+// Const is an integer literal.
+func Const(v int64) *Node { return &Node{kind: kindConst, value: v} }
+
+// Load binds a watched word. The pointer is the "pre-translated
+// physical address": evaluation reads through it directly.
+func Load(word *int64) *Node { return &Node{kind: kindLoad, word: word} }
+
+// Clock reads the current virtual time in cycles; predicates use it to
+// bound their sleep ("to bound the amount of time a predicate sleeps,
+// it can compare against the system clock").
+func Clock() *Node { return &Node{kind: kindClock} }
+
+// Cmp compares two arithmetic nodes.
+func Cmp(op CmpOp, a, b *Node) *Node { return &Node{kind: kindCmp, op: op, a: a, b: b} }
+
+// And is boolean conjunction of two boolean nodes.
+func And(a, b *Node) *Node { return &Node{kind: kindAnd, a: a, b: b} }
+
+// Or is boolean disjunction.
+func Or(a, b *Node) *Node { return &Node{kind: kindOr, a: a, b: b} }
+
+// Not negates a boolean node.
+func Not(a *Node) *Node { return &Node{kind: kindNot, a: a} }
+
+// MaxNodes bounds a compiled predicate's size.
+const MaxNodes = 64
+
+// Compilation errors.
+var (
+	ErrNil      = errors.New("wkpred: nil node")
+	ErrTooBig   = errors.New("wkpred: predicate exceeds node limit")
+	ErrBadShape = errors.New("wkpred: arithmetic node where boolean required")
+	ErrNilWord  = errors.New("wkpred: Load with nil word")
+)
+
+// Pred is a compiled predicate.
+type Pred struct {
+	root  *Node
+	nodes int
+}
+
+// Compile verifies the expression (the kernel-side check at download
+// time) and returns an evaluable predicate. The root must be boolean
+// (a comparison or a boolean combinator).
+func Compile(root *Node) (*Pred, error) {
+	n, err := check(root, true)
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxNodes {
+		return nil, ErrTooBig
+	}
+	return &Pred{root: root, nodes: n}, nil
+}
+
+// check validates shape and counts nodes. wantBool tracks whether the
+// context requires a boolean result.
+func check(n *Node, wantBool bool) (int, error) {
+	if n == nil {
+		return 0, ErrNil
+	}
+	switch n.kind {
+	case kindConst:
+		if wantBool {
+			return 0, ErrBadShape
+		}
+		return 1, nil
+	case kindLoad:
+		if wantBool {
+			return 0, ErrBadShape
+		}
+		if n.word == nil {
+			return 0, ErrNilWord
+		}
+		return 1, nil
+	case kindClock:
+		if wantBool {
+			return 0, ErrBadShape
+		}
+		return 1, nil
+	case kindCmp:
+		if !wantBool {
+			return 0, ErrBadShape
+		}
+		ca, err := check(n.a, false)
+		if err != nil {
+			return 0, err
+		}
+		cb, err := check(n.b, false)
+		if err != nil {
+			return 0, err
+		}
+		return ca + cb + 1, nil
+	case kindAnd, kindOr:
+		if !wantBool {
+			return 0, ErrBadShape
+		}
+		ca, err := check(n.a, true)
+		if err != nil {
+			return 0, err
+		}
+		cb, err := check(n.b, true)
+		if err != nil {
+			return 0, err
+		}
+		return ca + cb + 1, nil
+	case kindNot:
+		if !wantBool {
+			return 0, ErrBadShape
+		}
+		ca, err := check(n.a, true)
+		if err != nil {
+			return 0, err
+		}
+		return ca + 1, nil
+	}
+	return 0, ErrNil
+}
+
+// Eval evaluates the predicate at virtual time now.
+func (p *Pred) Eval(now sim.Time) bool { return evalBool(p.root, now) }
+
+// Cost returns the CPU cost of one evaluation, proportional to
+// predicate size (compiled predicates are cheap).
+func (p *Pred) Cost() sim.Time {
+	return sim.CostPredicateEval + sim.Time(p.nodes)*4
+}
+
+// Nodes reports the compiled node count.
+func (p *Pred) Nodes() int { return p.nodes }
+
+func evalBool(n *Node, now sim.Time) bool {
+	switch n.kind {
+	case kindCmp:
+		a, b := evalArith(n.a, now), evalArith(n.b, now)
+		switch n.op {
+		case EQ:
+			return a == b
+		case NE:
+			return a != b
+		case LT:
+			return a < b
+		case LE:
+			return a <= b
+		case GT:
+			return a > b
+		case GE:
+			return a >= b
+		}
+	case kindAnd:
+		return evalBool(n.a, now) && evalBool(n.b, now)
+	case kindOr:
+		return evalBool(n.a, now) || evalBool(n.b, now)
+	case kindNot:
+		return !evalBool(n.a, now)
+	}
+	panic("wkpred: eval of unverified predicate")
+}
+
+func evalArith(n *Node, now sim.Time) int64 {
+	switch n.kind {
+	case kindConst:
+		return n.value
+	case kindLoad:
+		return *n.word
+	case kindClock:
+		return int64(now)
+	}
+	panic("wkpred: eval of unverified predicate")
+}

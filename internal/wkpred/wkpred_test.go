@@ -1,0 +1,165 @@
+package wkpred
+
+import (
+	"errors"
+	"testing"
+
+	"xok/internal/sim"
+)
+
+func TestBasicComparison(t *testing.T) {
+	var word int64 = 5
+	p, err := Compile(Cmp(EQ, Load(&word), Const(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Eval(0) {
+		t.Fatal("5 == 7 evaluated true")
+	}
+	word = 7
+	if !p.Eval(0) {
+		t.Fatal("predicate did not observe word change")
+	}
+}
+
+func TestAllOperators(t *testing.T) {
+	var w int64 = 10
+	cases := []struct {
+		op   CmpOp
+		rhs  int64
+		want bool
+	}{
+		{EQ, 10, true}, {EQ, 9, false},
+		{NE, 9, true}, {NE, 10, false},
+		{LT, 11, true}, {LT, 10, false},
+		{LE, 10, true}, {LE, 9, false},
+		{GT, 9, true}, {GT, 10, false},
+		{GE, 10, true}, {GE, 11, false},
+	}
+	for _, c := range cases {
+		p, err := Compile(Cmp(c.op, Load(&w), Const(c.rhs)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.Eval(0); got != c.want {
+			t.Errorf("10 %v %d = %v, want %v", c.op, c.rhs, got, c.want)
+		}
+	}
+}
+
+func TestBooleanCombinators(t *testing.T) {
+	var a, b int64 = 1, 0
+	pa := Cmp(NE, Load(&a), Const(0))
+	pb := Cmp(NE, Load(&b), Const(0))
+
+	and, _ := Compile(And(pa, pb))
+	or, _ := Compile(Or(pa, pb))
+	not, _ := Compile(Not(pb))
+
+	if and.Eval(0) {
+		t.Fatal("AND with false arm evaluated true")
+	}
+	if !or.Eval(0) {
+		t.Fatal("OR with true arm evaluated false")
+	}
+	if !not.Eval(0) {
+		t.Fatal("NOT false evaluated false")
+	}
+	b = 1
+	if !and.Eval(0) {
+		t.Fatal("AND did not observe update")
+	}
+}
+
+func TestClockBoundedSleep(t *testing.T) {
+	// "To bound the amount of time a predicate sleeps, it can compare
+	// against the system clock": block-state OR timeout.
+	var blockState int64 // 0 = in transit, 1 = resident
+	deadline := sim.FromMicros(100)
+	p, err := Compile(Or(
+		Cmp(EQ, Load(&blockState), Const(1)),
+		Cmp(GE, Clock(), Const(int64(deadline))),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Eval(sim.FromMicros(10)) {
+		t.Fatal("woke too early")
+	}
+	if !p.Eval(sim.FromMicros(100)) {
+		t.Fatal("timeout did not fire")
+	}
+	blockState = 1
+	if !p.Eval(sim.FromMicros(10)) {
+		t.Fatal("state change did not wake")
+	}
+}
+
+func TestCompileRejectsBadShapes(t *testing.T) {
+	var w int64
+	cases := []struct {
+		name string
+		n    *Node
+		want error
+	}{
+		{"nil", nil, ErrNil},
+		{"bare const", Const(1), ErrBadShape},
+		{"bare load", Load(&w), ErrBadShape},
+		{"cmp of bools", Cmp(EQ, Cmp(EQ, Const(1), Const(1)), Const(1)), ErrBadShape},
+		{"and of arith", And(Const(1), Const(2)), ErrBadShape},
+		{"nil word", Cmp(EQ, Load(nil), Const(0)), ErrNilWord},
+	}
+	for _, c := range cases {
+		if _, err := Compile(c.n); !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestCompileSizeLimit(t *testing.T) {
+	var w int64
+	n := Cmp(EQ, Load(&w), Const(0))
+	for i := 0; i < MaxNodes; i++ {
+		n = And(n, Cmp(EQ, Load(&w), Const(0)))
+	}
+	if _, err := Compile(n); !errors.Is(err, ErrTooBig) {
+		t.Fatalf("oversized predicate err = %v, want ErrTooBig", err)
+	}
+}
+
+func TestCostScalesWithSize(t *testing.T) {
+	var w int64
+	small, _ := Compile(Cmp(EQ, Load(&w), Const(0)))
+	big, _ := Compile(And(
+		Cmp(EQ, Load(&w), Const(0)),
+		Cmp(GE, Clock(), Const(100)),
+	))
+	if small.Cost() >= big.Cost() {
+		t.Fatalf("cost(small)=%v >= cost(big)=%v", small.Cost(), big.Cost())
+	}
+	if small.Nodes() != 3 {
+		t.Fatalf("small nodes = %d, want 3", small.Nodes())
+	}
+}
+
+func TestCompositionChecksDisjointStructures(t *testing.T) {
+	// "The composition of multiple predicates allows atomic checking
+	// of disjoint data structures": both words must be observed in one
+	// evaluation.
+	var q1len, q2len int64
+	p, err := Compile(And(
+		Cmp(GT, Load(&q1len), Const(0)),
+		Cmp(GT, Load(&q2len), Const(0)),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1len = 5
+	if p.Eval(0) {
+		t.Fatal("half-ready state woke the predicate")
+	}
+	q2len = 2
+	if !p.Eval(0) {
+		t.Fatal("fully-ready state did not wake")
+	}
+}

@@ -1,0 +1,123 @@
+// Package workload reproduces the paper's macrobenchmarks: the
+// I/O-intensive lcc-install workload (Table 1 / Figure 2), the
+// Modified Andrew Benchmark (Section 6.2), the cost-of-protection
+// experiment (Section 6.3), and the global-performance job mixes
+// (Figures 4 and 5). Each takes a Machine — one of the four systems
+// under test — and returns measured virtual times.
+package workload
+
+import (
+	"fmt"
+
+	"xok/internal/bsdos"
+	"xok/internal/exos"
+	"xok/internal/kernel"
+	"xok/internal/sim"
+	"xok/internal/unix"
+)
+
+// EnvHandle identifies a spawned process.
+type EnvHandle interface {
+	Env() *kernel.Env
+}
+
+// Machine abstracts over the OS personalities.
+type Machine interface {
+	// Name labels the system as the paper does ("Xok/ExOS", ...).
+	Name() string
+	// SpawnProc starts a UNIX process.
+	SpawnProc(name string, uid uint16, main func(unix.Proc)) EnvHandle
+	// Run drains the machine.
+	Run()
+	// Now returns virtual time.
+	Now() sim.Time
+	// Stats returns the counter registry.
+	Stats() *sim.Stats
+	// Kern returns the kernel.
+	Kern() *kernel.Kernel
+}
+
+// Xok wraps an ExOS system as a Machine.
+type Xok struct{ S *exos.System }
+
+// Name implements Machine.
+func (m Xok) Name() string { return "Xok/ExOS" }
+
+// SpawnProc implements Machine.
+func (m Xok) SpawnProc(name string, uid uint16, main func(unix.Proc)) EnvHandle {
+	return m.S.Spawn(name, uid, main)
+}
+
+// Run implements Machine.
+func (m Xok) Run() { m.S.Run() }
+
+// Now implements Machine.
+func (m Xok) Now() sim.Time { return m.S.Now() }
+
+// Stats implements Machine.
+func (m Xok) Stats() *sim.Stats { return m.S.Stats() }
+
+// Kern implements Machine.
+func (m Xok) Kern() *kernel.Kernel { return m.S.K }
+
+// BSD wraps a BSD system as a Machine.
+type BSD struct{ S *bsdos.System }
+
+// Name implements Machine.
+func (m BSD) Name() string { return m.S.Variant.String() }
+
+// SpawnProc implements Machine.
+func (m BSD) SpawnProc(name string, uid uint16, main func(unix.Proc)) EnvHandle {
+	return m.S.Spawn(name, uid, main)
+}
+
+// Run implements Machine.
+func (m BSD) Run() { m.S.Run() }
+
+// Now implements Machine.
+func (m BSD) Now() sim.Time { return m.S.Now() }
+
+// Stats implements Machine.
+func (m BSD) Stats() *sim.Stats { return m.S.Stats() }
+
+// Kern implements Machine.
+func (m BSD) Kern() *kernel.Kernel { return m.S.K }
+
+// NewXok boots a stock Xok/ExOS machine (protection on, as in all
+// Section 6 measurements).
+func NewXok() Machine { return Xok{S: exos.Boot(exos.Config{Protect: true})} }
+
+// NewXokUnprotected boots Xok/ExOS with XN charging and shared-state
+// protection calls removed (the Section 6.3 comparison point).
+func NewXokUnprotected() Machine {
+	s := exos.Boot(exos.Config{Protect: false})
+	s.X.FreeCost = true
+	return Xok{S: s}
+}
+
+// NewBSD boots a BSD machine.
+func NewBSD(v bsdos.Variant) Machine { return BSD{S: bsdos.Boot(v, bsdos.Config{})} }
+
+// AllSystems boots the four systems of Figure 2, in the paper's
+// presentation order.
+func AllSystems() []Machine {
+	return []Machine{
+		NewXok(),
+		NewBSD(bsdos.OpenBSDCFFS),
+		NewBSD(bsdos.OpenBSD),
+		NewBSD(bsdos.FreeBSD),
+	}
+}
+
+// exec runs main as a process to completion and returns the elapsed
+// virtual time. Errors inside are collected into errp.
+func exec(m Machine, name string, main func(unix.Proc) error, errp *error) sim.Time {
+	start := m.Now()
+	m.SpawnProc(name, 0, func(p unix.Proc) {
+		if err := main(p); err != nil && *errp == nil {
+			*errp = fmt.Errorf("%s: %s: %w", m.Name(), name, err)
+		}
+	})
+	m.Run()
+	return m.Now() - start
+}

@@ -1,0 +1,174 @@
+package xn
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"xok/internal/disk"
+	"xok/internal/kernel"
+	"xok/internal/sim"
+)
+
+// The template and root catalogues are persistent: "once installed,
+// types are persistent across reboots" (Section 4.4). The simulation
+// serializes both into the reserved block area so that Mount — and the
+// crash-recovery path — can reconstruct XN entirely from the disk
+// image.
+
+const superMagic = 0x584E2D31 // "XN-1"
+
+type catalogImage struct {
+	NextTmpl  TemplateID
+	Templates []Template
+	Roots     []Root
+}
+
+// flushCatalogues serializes the catalogues into the reserved blocks.
+// Catalogue updates (template installs, root registrations) are rare
+// setup operations; they are written through immediately.
+func (x *XN) flushCatalogues() {
+	img := catalogImage{NextTmpl: x.nextTmpl}
+	for _, t := range x.templates {
+		img.Templates = append(img.Templates, *t)
+	}
+	sort.Slice(img.Templates, func(i, j int) bool { return img.Templates[i].ID < img.Templates[j].ID })
+	for _, r := range x.roots {
+		img.Roots = append(img.Roots, r)
+	}
+	sort.Slice(img.Roots, func(i, j int) bool { return img.Roots[i].Name < img.Roots[j].Name })
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&img); err != nil {
+		panic(fmt.Sprintf("xn: catalogue encode: %v", err))
+	}
+	capacity := (tmplCatBlocks + rootCatBlocks) * sim.DiskBlockSize
+	if buf.Len() > capacity {
+		panic(fmt.Sprintf("xn: catalogue image %d bytes exceeds reserved area %d", buf.Len(), capacity))
+	}
+
+	super := make([]byte, sim.DiskBlockSize)
+	binary.LittleEndian.PutUint32(super[0:], superMagic)
+	binary.LittleEndian.PutUint32(super[4:], uint32(buf.Len()))
+	x.D.PokeBlock(superBlock, super)
+
+	data := buf.Bytes()
+	for i := 0; i < tmplCatBlocks+rootCatBlocks; i++ {
+		blk := make([]byte, sim.DiskBlockSize)
+		lo := i * sim.DiskBlockSize
+		if lo < len(data) {
+			hi := lo + sim.DiskBlockSize
+			if hi > len(data) {
+				hi = len(data)
+			}
+			copy(blk, data[lo:hi])
+		}
+		x.D.PokeBlock(disk.BlockNo(tmplCatStart+i), blk)
+	}
+}
+
+// Mount attaches XN to a previously-formatted disk: it reads the
+// catalogues back and reconstructs the free map by garbage-collecting
+// from the roots — "XN uses these roots to garbage-collect the disk by
+// reconstructing the free map ... reachable blocks are allocated,
+// non-reachable blocks are not" (Section 4.4). This is also the crash
+// recovery path: after a simulated crash, Mount on the surviving disk
+// image restores a consistent XN.
+func Mount(k *kernel.Kernel) (*XN, error) {
+	x := newEmpty(k)
+	super := x.D.PeekBlock(superBlock)
+	if binary.LittleEndian.Uint32(super[0:]) != superMagic {
+		return nil, fmt.Errorf("xn: no XN volume on disk")
+	}
+	size := int(binary.LittleEndian.Uint32(super[4:]))
+	data := make([]byte, 0, size)
+	for i := 0; len(data) < size; i++ {
+		blk := x.D.PeekBlock(disk.BlockNo(tmplCatStart + i))
+		need := size - len(data)
+		if need > len(blk) {
+			need = len(blk)
+		}
+		data = append(data, blk[:need]...)
+	}
+	var img catalogImage
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&img); err != nil {
+		return nil, fmt.Errorf("xn: catalogue decode: %v", err)
+	}
+	x.nextTmpl = img.NextTmpl
+	for i := range img.Templates {
+		t := img.Templates[i]
+		x.templates[t.ID] = &t
+		x.tmplNames[t.Name] = t.ID
+	}
+	for _, r := range img.Roots {
+		if r.Temporary {
+			continue // temporary file systems do not survive reboot
+		}
+		x.roots[r.Name] = r
+	}
+	x.free = newBitmap(x.D.NumBlocks())
+	x.free.setRange(reservedEnd, x.D.NumBlocks(), true)
+	x.recoverGC()
+	return x, nil
+}
+
+// recoverGC rebuilds the free map and the on-disk reference counts by
+// logically traversing all roots and all blocks reachable from them.
+func (x *XN) recoverGC() {
+	type frame struct {
+		b    disk.BlockNo
+		tmpl TemplateID
+	}
+	visited := make(map[disk.BlockNo]bool)
+	var stack []frame
+
+	names := make([]string, 0, len(x.roots))
+	for name := range x.roots {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := x.roots[name]
+		for i := int64(0); i < r.Count; i++ {
+			b := r.Start + disk.BlockNo(i)
+			x.diskRefs[b]++
+			x.free.set(int64(b), false)
+			stack = append(stack, frame{b, r.Tmpl})
+		}
+	}
+
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if visited[f.b] {
+			continue
+		}
+		visited[f.b] = true
+		t, ok := x.templates[f.tmpl]
+		if !ok {
+			continue
+		}
+		data := x.D.PeekBlock(f.b)
+		extents, err := x.runOwns(nil, t, data)
+		if err != nil {
+			// A block whose owns-udf faults owns nothing; the write
+			// ordering rules guarantee reachable metadata is intact,
+			// so this only happens for hostile or leaf content.
+			continue
+		}
+		x.onDiskOwns[f.b] = extents
+		for _, ext := range extents {
+			for j := int64(0); j < ext.Count; j++ {
+				c := disk.BlockNo(ext.Start + j)
+				if int64(c) < reservedEnd || int64(c) >= x.D.NumBlocks() {
+					continue
+				}
+				x.diskRefs[c]++
+				x.free.set(int64(c), false)
+				stack = append(stack, frame{c, TemplateID(ext.Type)})
+			}
+		}
+	}
+}
