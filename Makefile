@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The full pre-commit gate: everything compiles, vet is clean, and the
+# whole suite passes under the race detector (the token-handoff
+# protocol in internal/sim is exactly the kind of code -race exists
+# for).
+check: build vet race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

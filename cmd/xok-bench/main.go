@@ -9,6 +9,14 @@
 //	                           # protection, table2, figure3, figure4,
 //	                           # figure5, emulator, xcp
 //	xok-bench -full            # full-size Figures 4/5 (7/1 .. 35/5)
+//
+// Observability (internal/trace):
+//
+//	xok-bench -run figure2 -trace out.json   # Chrome trace_event
+//	                                         # timeline (load it in
+//	                                         # ui.perfetto.dev)
+//	xok-bench -run figure3 -hist             # p50/p90/p99 latency
+//	                                         # histograms per machine
 package main
 
 import (
@@ -26,17 +34,28 @@ import (
 	"xok/internal/kernel"
 	"xok/internal/ostest"
 	"xok/internal/sim"
+	"xok/internal/trace"
 	"xok/internal/unix"
 	"xok/internal/workload"
 )
 
 var (
-	runFlag  = flag.String("run", "all", "experiment to run (all, figure2, mab, protection, table2, figure3, figure4, figure5, emulator, xcp)")
-	fullFlag = flag.Bool("full", false, "run Figures 4/5 at full size (35 jobs); slower")
+	runFlag   = flag.String("run", "all", "experiment to run (all, figure2, mab, protection, table2, figure3, figure4, figure5, emulator, xcp)")
+	fullFlag  = flag.Bool("full", false, "run Figures 4/5 at full size (35 jobs); slower")
+	traceFlag = flag.String("trace", "", "write a Chrome trace_event JSON timeline of every simulated machine to this file")
+	histFlag  = flag.Bool("hist", false, "print per-machine latency histograms (p50/p90/p99) after the experiments")
 )
 
 func main() {
 	flag.Parse()
+	// Install the default tracer before any machine boots; every
+	// kernel.New picks it up and registers itself as a trace process.
+	var tr *trace.Tracer
+	if *traceFlag != "" || *histFlag {
+		tr = trace.New()
+		trace.SetDefault(tr)
+	}
+	defer dumpTrace(tr)
 	experiments := map[string]func(){
 		"figure2":    figure2,
 		"mab":        mab,
@@ -62,6 +81,39 @@ func main() {
 		os.Exit(2)
 	}
 	fn()
+}
+
+// dumpTrace flushes the tracer's output after the experiments: the
+// Chrome trace_event JSON timeline to -trace's file, the latency
+// histogram report to stdout for -hist.
+func dumpTrace(tr *trace.Tracer) {
+	if tr == nil {
+		return
+	}
+	if *traceFlag != "" {
+		f, err := os.Create(*traceFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.WriteChromeTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %d trace events to %s (open in ui.perfetto.dev or chrome://tracing)\n",
+			tr.Events(), *traceFlag)
+		if d := tr.Dropped(); d > 0 {
+			fmt.Printf("note: %d events dropped past the %d-event cap; histograms stay exact\n",
+				d, trace.MaxEvents)
+		}
+	}
+	if *histFlag {
+		fmt.Println()
+		if err := tr.WriteHistReport(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
 }
 
 func header(title string) {

@@ -25,8 +25,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"xok/internal/sim"
+	"xok/internal/trace"
 )
 
 // BlockNo names a physical disk block (4 KB). Physical names are used
@@ -44,6 +46,9 @@ type Request struct {
 	Done  func(*Request)
 
 	queuedAt sim.Time
+	svcStart sim.Time // when the spindle began servicing this request
+	seekT    sim.Time // seek component of the service time
+	rotT     sim.Time // rotational-latency component
 }
 
 // spindle is one physical drive: its own head, queue and service
@@ -51,6 +56,7 @@ type Request struct {
 // configurations (RAID-0, Section 4.6's "range of file systems ...
 // RAID") fan logical blocks across several spindles.
 type spindle struct {
+	idx   int
 	head  BlockNo
 	busy  bool
 	queue []*Request
@@ -69,6 +75,9 @@ type Disk struct {
 	// in arrival order — an ablation knob for measuring what the
 	// scheduler is worth (cmd and bench ablations use it).
 	FIFO bool
+
+	tr    *trace.Tracer // span/histogram sink; nil = tracing off
+	trPID int64
 
 	store map[BlockNo][]byte // media contents, allocated lazily
 }
@@ -89,7 +98,7 @@ func NewStriped(eng *sim.Engine, stats *sim.Stats, nblocks int64, n int, stripeU
 	if stripeUnit < 1 {
 		stripeUnit = 16
 	}
-	return &Disk{
+	d := &Disk{
 		eng:        eng,
 		stats:      stats,
 		nblocks:    nblocks,
@@ -97,7 +106,28 @@ func NewStriped(eng *sim.Engine, stats *sim.Stats, nblocks int64, n int, stripeU
 		stripeUnit: stripeUnit,
 		store:      make(map[BlockNo][]byte),
 	}
+	for i := range d.spindles {
+		d.spindles[i].idx = i
+	}
+	return d
 }
+
+// SetTrace attaches a tracer: each spindle becomes a trace lane and
+// every request gets queue and service spans plus latency-histogram
+// samples. A nil tracer turns tracing off.
+func (d *Disk) SetTrace(tr *trace.Tracer, pid int64) {
+	d.tr = tr
+	d.trPID = pid
+	if tr.Enabled() {
+		for i := range d.spindles {
+			tr.NameLane(pid, d.laneOf(i), fmt.Sprintf("disk spindle %d", i))
+		}
+	}
+}
+
+// laneOf maps a spindle index to its trace lane (TID). Lanes 1..n are
+// the spindles; the kernel's environments use 100+.
+func (d *Disk) laneOf(spindle int) int64 { return int64(1 + spindle) }
 
 // Spindles reports the number of physical drives in the set.
 func (d *Disk) Spindles() int { return len(d.spindles) }
@@ -206,8 +236,14 @@ func (d *Disk) split(r *Request) []*Request {
 }
 
 // pickNext removes and returns the CSCAN-next request for a spindle:
-// the lowest start block at or beyond the head, wrapping to the lowest
-// overall.
+// the lowest start position at or beyond the head, wrapping to the
+// lowest overall. The head lives in spindle-local *physical* space
+// (complete sets it via physOf), so the elevator must sort and compare
+// physical positions too — logical block numbers interleave across
+// spindles and are ~n times larger than any physical position, which
+// on a striped set made the old logical-space comparison pick requests
+// behind the head and break sequential runs. (Single-spindle disks
+// were unaffected only because physOf is the identity there.)
 func (d *Disk) pickNext(sp *spindle) *Request {
 	if len(sp.queue) == 0 {
 		return nil
@@ -218,11 +254,11 @@ func (d *Disk) pickNext(sp *spindle) *Request {
 		return r
 	}
 	sort.SliceStable(sp.queue, func(i, j int) bool {
-		return sp.queue[i].Block < sp.queue[j].Block
+		return d.physOf(sp.queue[i].Block) < d.physOf(sp.queue[j].Block)
 	})
 	idx := -1
 	for i, r := range sp.queue {
-		if r.Block >= sp.head {
+		if d.physOf(r.Block) >= sp.head {
 			idx = i
 			break
 		}
@@ -236,23 +272,41 @@ func (d *Disk) pickNext(sp *spindle) *Request {
 }
 
 // serviceTime computes the positional cost of r given a spindle's
-// head (positions in spindle-local physical space).
+// head (positions in spindle-local physical space). The seek and
+// rotation components are recorded on the request so completion spans
+// can attribute them.
 func (d *Disk) serviceTime(sp *spindle, r *Request) sim.Time {
 	t := sim.DiskControllerOverhead
+	r.seekT, r.rotT = 0, 0
 	pos := d.physOf(r.Block)
 	if pos != sp.head {
 		dist := int64(pos - sp.head)
 		if dist < 0 {
 			dist = -dist
 		}
-		t += seekTime(dist, d.nblocks)
-		t += sim.DiskRotationPeriod / 2 // average rotational latency
+		// The seek curve is calibrated against one *platter*: each
+		// spindle of a striped set holds nblocks/n of the logical
+		// space. (Calibrating against the total used to make every
+		// spindle behave as if its platter were n times its real size,
+		// systematically underestimating seeks on striped sets.)
+		r.seekT = seekTime(dist, d.spindleBlocks())
+		r.rotT = sim.DiskRotationPeriod / 2 // average rotational latency
+		t += r.seekT + r.rotT
 		if d.stats != nil {
 			d.stats.Inc(sim.CtrDiskSeeks)
 		}
 	}
 	t += sim.DiskTransferPerBlock * sim.Time(r.Count)
 	return t
+}
+
+// spindleBlocks is the capacity of one physical drive in the set.
+func (d *Disk) spindleBlocks() int64 {
+	per := d.nblocks / int64(len(d.spindles))
+	if per < 1 {
+		per = 1
+	}
+	return per
 }
 
 // seekTime is the classic a + b*sqrt(distance) seek curve, calibrated
@@ -275,6 +329,7 @@ func (d *Disk) startNext(sp *spindle) {
 		return
 	}
 	sp.busy = true
+	r.svcStart = d.eng.Now()
 	t := d.serviceTime(sp, r)
 	d.eng.After(t, func() { d.complete(sp, r) })
 }
@@ -300,10 +355,40 @@ func (d *Disk) complete(sp *spindle, r *Request) {
 		}
 	}
 	sp.head = d.physOf(r.Block) + BlockNo(r.Count)
+	if d.tr.Enabled() {
+		d.traceRequest(sp, r)
+	}
 	done := r.Done
 	d.startNext(sp) // keep the spindle busy before running the callback
 	if done != nil {
 		done(r)
+	}
+}
+
+// traceRequest emits the queue and service spans for a completed
+// request, with the positional breakdown (seek vs. rotation vs.
+// transfer) as span args, and feeds the latency histograms.
+func (d *Disk) traceRequest(sp *spindle, r *Request) {
+	now := d.eng.Now()
+	lane := d.laneOf(sp.idx)
+	op := "read"
+	if r.Write {
+		op = "write"
+	}
+	if r.svcStart > r.queuedAt {
+		d.tr.Span(d.trPID, lane, "disk", "queue", r.queuedAt, r.svcStart,
+			trace.Arg{Key: "block", Val: strconv.FormatInt(int64(r.Block), 10)})
+	}
+	d.tr.Span(d.trPID, lane, "disk", op, r.svcStart, now,
+		trace.Arg{Key: "block", Val: strconv.FormatInt(int64(r.Block), 10)},
+		trace.Arg{Key: "count", Val: strconv.Itoa(r.Count)},
+		trace.Arg{Key: "seek", Val: r.seekT.String()},
+		trace.Arg{Key: "rotation", Val: r.rotT.String()},
+		trace.Arg{Key: "transfer", Val: (sim.DiskTransferPerBlock * sim.Time(r.Count)).String()})
+	d.tr.Observe(d.trPID, "disk.queue", r.svcStart-r.queuedAt)
+	d.tr.Observe(d.trPID, "disk.service", now-r.svcStart)
+	if r.seekT > 0 {
+		d.tr.Observe(d.trPID, "disk.seek", r.seekT)
 	}
 }
 

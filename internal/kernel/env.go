@@ -78,6 +78,11 @@ func (e *Env) Dead() bool { return e.state == envDead }
 // from it).
 func (e *Env) CPUUsed() sim.Time { return e.cpuUsed }
 
+// TraceLane is this environment's lane (TID) in the machine's tracer.
+// Lanes 100+ belong to environments; the disk's spindles use 1..n and
+// the HTTP connections 10000+.
+func (e *Env) TraceLane() int64 { return 100 + int64(e.id) }
+
 // park hands the token to the scheduler and blocks until resumed.
 func (e *Env) park(msg parkMsg) {
 	e.k.parkCh <- msg
@@ -102,6 +107,16 @@ func (e *Env) Use(c sim.Time) {
 // Syscall charges one kernel crossing plus the in-kernel work cost.
 func (e *Env) Syscall(work sim.Time) {
 	e.k.Stats.Inc(sim.CtrSyscalls)
+	if tr := e.k.Trace; tr != nil {
+		begin := e.k.Eng.Now()
+		e.Use(e.k.cfg.TrapCost + work)
+		end := e.k.Eng.Now()
+		// The span covers trap entry to return, including any slices
+		// the scheduler interleaved — i.e. the call's real latency.
+		tr.Span(e.k.TracePID, e.TraceLane(), "kernel", "syscall", begin, end)
+		tr.Observe(e.k.TracePID, "kernel.syscall", end-begin)
+		return
+	}
 	e.Use(e.k.cfg.TrapCost + work)
 }
 

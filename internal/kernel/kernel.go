@@ -28,6 +28,7 @@ import (
 	"xok/internal/disk"
 	"xok/internal/mem"
 	"xok/internal/sim"
+	"xok/internal/trace"
 )
 
 // Config parameterizes a machine's kernel.
@@ -42,6 +43,12 @@ type Config struct {
 	// (StripeUnit blocks per unit; default 16).
 	Spindles   int
 	StripeUnit int64
+
+	// Trace attaches an observability tracer to this machine. When nil
+	// the package default (trace.Default, installed by tools like
+	// cmd/xok-bench -trace) is used; if that is nil too, tracing is
+	// off and costs nothing.
+	Trace *trace.Tracer
 }
 
 // DefaultQuantum is a 10-ms scheduler slice.
@@ -53,6 +60,12 @@ type Kernel struct {
 	Stats *sim.Stats
 	Mem   *mem.PhysMem
 	Disk  *disk.Disk
+
+	// Trace is this machine's span/histogram sink (nil = tracing off)
+	// and TracePID its process id within the tracer. Subsystems built
+	// on the kernel (netsim, cffs, xn) emit through these.
+	Trace    *trace.Tracer
+	TracePID int64
 
 	cfg     Config
 	nextEnv EnvID
@@ -102,6 +115,19 @@ func New(cfg Config) *Kernel {
 			k.Disk = disk.New(eng, st, cfg.DiskSize)
 		}
 	}
+	tr := cfg.Trace
+	if tr == nil {
+		tr = trace.Default()
+	}
+	if tr.Enabled() {
+		k.Trace = tr
+		k.TracePID = tr.AddProcess(cfg.Name)
+		pid := k.TracePID
+		eng.SetEventHook(func(at sim.Time) { tr.Count(pid, "events", 1) })
+		if k.Disk != nil {
+			k.Disk.SetTrace(tr, pid)
+		}
+	}
 	return k
 }
 
@@ -147,6 +173,9 @@ func (k *Kernel) Spawn(name string, body func(*Env)) *Env {
 	k.nextEnv++
 	k.envs[e.id] = e
 	k.liveEnvs++
+	if k.Trace != nil {
+		k.Trace.NameLane(k.TracePID, e.TraceLane(), fmt.Sprintf("env %d (%s)", e.id, name))
+	}
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -226,6 +255,9 @@ func (k *Kernel) dispatch() {
 	// Slice-start notification upcall (Section 5.1: "explicit
 	// notification of the beginning and the end of a time slice").
 	k.Stats.Inc(sim.CtrUpcalls)
+	if k.Trace != nil {
+		k.Trace.Instant(k.TracePID, e.TraceLane(), "upcall", "slice-start", k.Eng.Now())
+	}
 	e.burst += sim.CostUpcall
 	k.step(e)
 }
@@ -290,6 +322,12 @@ func (k *Kernel) step(e *Env) {
 func (k *Kernel) rotate(e *Env) {
 	k.Stats.Inc(sim.CtrUpcalls)
 	k.Stats.Inc(sim.CtrCtxSwitches)
+	if k.Trace != nil {
+		now := k.Eng.Now()
+		k.Trace.Instant(k.TracePID, e.TraceLane(), "upcall", "slice-end", now)
+		k.Trace.Span(k.TracePID, e.TraceLane(), "kernel", "ctx-switch",
+			now, now+sim.CostContextSwitch+sim.CostUpcall)
+	}
 	k.current = nil
 	e.state = envRunnable
 	k.runq = append(k.runq, e)
@@ -317,6 +355,11 @@ func (k *Kernel) handlePark(msg parkMsg) {
 			k.sleeprs = append(k.sleeprs, e)
 		}
 		k.Stats.Inc(sim.CtrCtxSwitches)
+		if k.Trace != nil {
+			now := k.Eng.Now()
+			k.Trace.Span(k.TracePID, e.TraceLane(), "kernel", "ctx-switch",
+				now, now+sim.CostContextSwitch)
+		}
 		k.Eng.After(sim.CostContextSwitch, func() { k.dispatch() })
 	case parkYieldTo:
 		k.current = nil

@@ -1,0 +1,119 @@
+package kernel
+
+import (
+	"testing"
+
+	"xok/internal/disk"
+	"xok/internal/sim"
+	"xok/internal/trace"
+)
+
+// TestTracingWiring attaches a tracer to a machine and checks that the
+// kernel and disk layers actually emit through it: syscall spans,
+// context-switch spans, disk queue/service spans, latency histograms,
+// and the engine's per-event counter.
+func TestTracingWiring(t *testing.T) {
+	tr := trace.New()
+	k := New(Config{Name: "traced", MemPages: 256, DiskSize: 4096, Trace: tr})
+	if k.Trace != tr {
+		t.Fatal("kernel did not adopt the configured tracer")
+	}
+
+	done := false
+	k.Spawn("worker", func(e *Env) {
+		e.Syscall(1000)
+		e.Syscall(0)
+		ioDone := false
+		k.Disk.Submit(&disk.Request{Block: 10, Count: 2,
+			Done: func(*disk.Request) { ioDone = true; k.Wake(e) }})
+		for !ioDone {
+			e.Block()
+		}
+		done = true
+	})
+	k.Run()
+	if !done {
+		t.Fatal("worker never finished")
+	}
+
+	var sawSyscall, sawDisk bool
+	for _, s := range tr.Spans() {
+		switch {
+		case s.Cat == "kernel" && s.Name == "syscall":
+			sawSyscall = true
+			if s.End <= s.Begin {
+				t.Fatalf("zero-length syscall span: %+v", s)
+			}
+		case s.Cat == "disk":
+			sawDisk = true
+		}
+	}
+	if !sawSyscall {
+		t.Fatal("no syscall spans recorded")
+	}
+	if !sawDisk {
+		t.Fatal("no disk spans recorded")
+	}
+	if h := tr.Hist(k.TracePID, "kernel.syscall"); h == nil || h.Count() != 2 {
+		t.Fatalf("kernel.syscall histogram = %+v, want 2 samples", h)
+	}
+	if h := tr.Hist(k.TracePID, "disk.service"); h == nil || h.Count() == 0 {
+		t.Fatal("disk.service histogram empty")
+	}
+}
+
+// TestTracingDefaultPickup checks kernel.New adopts the package
+// default tracer when none is configured, and that machines built with
+// tracing fully off carry zero tracer state.
+func TestTracingDefaultPickup(t *testing.T) {
+	tr := trace.New()
+	trace.SetDefault(tr)
+	defer trace.SetDefault(nil)
+	k := New(Config{Name: "via-default", MemPages: 64})
+	if k.Trace != tr {
+		t.Fatal("default tracer not picked up")
+	}
+
+	trace.SetDefault(nil)
+	k2 := New(Config{Name: "untraced", MemPages: 64})
+	if k2.Trace != nil {
+		t.Fatal("tracer attached with tracing off")
+	}
+	k2.Spawn("w", func(e *Env) { e.Syscall(100) })
+	k2.Run() // must not record or crash
+	if tr.Hist(k.TracePID, "kernel.syscall") != nil {
+		t.Fatal("untraced machine leaked samples into the old tracer")
+	}
+}
+
+// TestTracingEventCounter checks the engine hook feeds the per-machine
+// event counter and stays deterministic (same run, same count).
+func TestTracingEventCounter(t *testing.T) {
+	run := func() (int, sim.Time) {
+		tr := trace.New()
+		k := New(Config{Name: "m", MemPages: 64, Trace: tr})
+		k.Spawn("w", func(e *Env) {
+			for i := 0; i < 10; i++ {
+				e.Syscall(500)
+			}
+		})
+		k.Run()
+		var buf noopWriter
+		if err := tr.WriteHistReport(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return tr.Events(), k.Now()
+	}
+	ev1, t1 := run()
+	ev2, t2 := run()
+	if ev1 == 0 {
+		t.Fatal("no events recorded")
+	}
+	if ev1 != ev2 || t1 != t2 {
+		t.Fatalf("tracing broke determinism: %d@%v vs %d@%v", ev1, t1, ev2, t2)
+	}
+}
+
+type noopWriter struct{}
+
+func (noopWriter) Write(p []byte) (int, error) { return len(p), nil }

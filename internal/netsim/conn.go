@@ -1,8 +1,11 @@
 package netsim
 
 import (
+	"strconv"
+
 	"xok/internal/dpf"
 	"xok/internal/sim"
+	"xok/internal/trace"
 )
 
 // Conn is one HTTP/1.0 connection: server-side state plus the scripted
@@ -24,6 +27,7 @@ type Conn struct {
 	got       int // contiguous bytes received
 	sawFIN    bool
 	started   sim.Time
+	tsReq     sim.Time // when the server began serving the request
 	onDone    func(latency sim.Time)
 	unacked   int // data segments since last client ACK
 	reqDocLen int
@@ -74,9 +78,34 @@ func (c *Conn) clientDeliver(pkt *Packet) {
 			// Final cumulative ACK so the server can retire the
 			// connection.
 			c.sendAck()
+			c.traceDone()
 			done(c.net.Eng.Now() - c.started)
 		}
 	}
+}
+
+// lane is this connection's trace lane (TID): 10000 + the client port.
+func (c *Conn) lane() int64 { return 10000 + int64(c.clientPort) }
+
+// traceDone emits the connection's phase spans — handshake+request
+// (SYN sent to the server starting the handler) and stream (response
+// bytes until the client has everything) — plus the end-to-end span
+// and the http.request latency sample.
+func (c *Conn) traceDone() {
+	tr := c.net.K.Trace
+	if tr == nil {
+		return
+	}
+	now := c.net.Eng.Now()
+	pid := c.net.K.TracePID
+	if c.tsReq > c.started {
+		tr.Span(pid, c.lane(), "http", "handshake+request", c.started, c.tsReq)
+		tr.Span(pid, c.lane(), "http", "stream", c.tsReq, now)
+	}
+	tr.Span(pid, c.lane(), "http", "conn", c.started, now,
+		trace.Arg{Key: "doc", Val: strconv.Itoa(c.reqDocLen)},
+		trace.Arg{Key: "port", Val: strconv.Itoa(int(c.clientPort))})
+	tr.Observe(pid, "http.request", now-c.started)
 }
 
 // sendAck transmits a cumulative ACK carrying the client's in-order
@@ -94,6 +123,11 @@ func (c *Conn) sendAck() {
 // it just never arrives.
 func (c *Conn) sendToClient(flags uint8, payload, seq int) {
 	c.net.K.Stats.Inc(sim.CtrPacketsTx)
+	if tr := c.net.K.Trace; tr != nil {
+		tr.Instant(c.net.K.TracePID, c.lane(), "net", "tx", c.net.Eng.Now(),
+			trace.Arg{Key: "seq", Val: strconv.Itoa(seq)},
+			trace.Arg{Key: "payload", Val: strconv.Itoa(payload)})
+	}
 	pkt := &Packet{SrcPort: ServerPort, DstPort: c.clientPort, Flags: flags, Payload: payload, Seq: seq, Conn: c}
 	lost := payload > 0 && c.net.LossRate > 0 && c.net.lossRNG.Intn(c.net.LossRate) == 0
 	c.link.transmit(toClient, payload, func() {

@@ -112,6 +112,9 @@ func New(k *kernel.Kernel) *Net {
 func (n *Net) serverRx(pkt *Packet) {
 	n.K.ChargeInterrupt(sim.CostNICInterrupt)
 	n.K.Stats.Inc(sim.CtrPacketsRx)
+	if tr := n.K.Trace; tr != nil && pkt.Conn != nil {
+		tr.Instant(n.K.TracePID, pkt.Conn.lane(), "net", "rx", n.Eng.Now())
+	}
 	n.K.ChargeInterrupt(sim.CostPacketFilter)
 	owner, ok := n.DPF.Dispatch(pkt.Header())
 	if !ok {

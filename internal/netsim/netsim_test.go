@@ -6,6 +6,7 @@ import (
 	"xok/internal/cap"
 	"xok/internal/kernel"
 	"xok/internal/sim"
+	"xok/internal/trace"
 )
 
 func testServerConfig() StackConfig {
@@ -186,5 +187,46 @@ func TestLossReducesThroughput(t *testing.T) {
 	lossy := measure(16) // ~6% loss
 	if lossy >= clean {
 		t.Fatalf("loss did not hurt throughput: %d vs %d", lossy, clean)
+	}
+}
+
+func TestConnectionTracing(t *testing.T) {
+	tr := trace.New()
+	k := kernel.New(kernel.Config{Name: "net", MemPages: 512, Trace: tr})
+	n := New(k)
+	stop := k.Now() + 100*sim.Millisecond
+	pool := n.NewClientPool(4, 1000, stop)
+	k.Spawn("server", func(e *kernel.Env) {
+		n.Serve(e, testServerConfig(), func(*kernel.Env, *Conn) int { return 1000 }, stop)
+	})
+	k.RunUntil(stop)
+	k.Shutdown()
+	if pool.Completed == 0 {
+		t.Fatal("no requests completed")
+	}
+	h := tr.Hist(k.TracePID, "http.request")
+	if h == nil || h.Count() != int64(pool.Completed) {
+		t.Fatalf("http.request samples = %v, want %d", h, pool.Completed)
+	}
+	if h.Max() != pool.LatMax {
+		t.Fatalf("histogram max %v != pool max %v", h.Max(), pool.LatMax)
+	}
+	var conns, phases int
+	for _, s := range tr.Spans() {
+		if s.Cat != "http" {
+			continue
+		}
+		switch s.Name {
+		case "conn":
+			conns++
+		case "handshake+request", "stream":
+			phases++
+		}
+	}
+	if conns != pool.Completed {
+		t.Fatalf("conn spans = %d, want %d", conns, pool.Completed)
+	}
+	if phases < 2*pool.Completed {
+		t.Fatalf("phase spans = %d, want >= %d", phases, 2*pool.Completed)
 	}
 }

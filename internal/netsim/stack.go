@@ -131,6 +131,7 @@ func (s *Stack) acceptConn(c *Conn) {
 
 // serveRequest runs the handler and streams the response.
 func (s *Stack) serveRequest(c *Conn) {
+	c.tsReq = s.net.Eng.Now()
 	// Receive-side processing of the request segment.
 	s.env.Use(s.cfg.PerPacket)
 	if s.cfg.CopyOnSend {
@@ -216,6 +217,9 @@ func (s *Stack) retransmit(c *Conn) {
 
 // retireConn tears down a fully-acknowledged connection.
 func (s *Stack) retireConn(c *Conn) {
+	if tr := s.net.K.Trace; tr != nil {
+		tr.Instant(s.net.K.TracePID, c.lane(), "http", "retire", s.net.Eng.Now())
+	}
 	c.srvDone = true
 	if c.rto != nil {
 		s.net.Eng.Cancel(c.rto)

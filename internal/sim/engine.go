@@ -56,6 +56,7 @@ type Engine struct {
 	now  Time
 	heap eventHeap
 	seq  uint64
+	hook func(at Time) // observes every fired event; nil = off
 }
 
 // NewEngine returns an engine with the clock at zero and no events.
@@ -64,16 +65,15 @@ func NewEngine() *Engine { return &Engine{} }
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// Pending reports the number of live (non-cancelled) events queued.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.heap {
-		if !ev.cancelled {
-			n++
-		}
-	}
-	return n
-}
+// Pending reports the number of events queued. (Cancel removes events
+// from the heap eagerly, so everything in it is live.)
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// SetEventHook installs h to be called once per fired event, just
+// before its callback runs and after the clock has advanced to its
+// timestamp. Cancelled events never reach the hook. The tracing layer
+// uses this to count event dispatches; nil disables it.
+func (e *Engine) SetEventHook(h func(at Time)) { e.hook = h }
 
 // At schedules fn to run when the clock reaches t. Scheduling in the
 // past is a bug in the caller; the engine clamps it to "now" so the
@@ -107,18 +107,19 @@ func (e *Engine) Cancel(ev *Event) {
 }
 
 // Step pops and runs the next event, advancing the clock to its time.
-// It reports whether an event ran.
+// It reports whether an event ran. Cancelled events are never in the
+// heap (Cancel removes them eagerly), so whatever is popped fires.
 func (e *Engine) Step() bool {
-	for len(e.heap) > 0 {
-		ev := heap.Pop(&e.heap).(*Event)
-		if ev.cancelled {
-			continue
-		}
-		e.now = ev.at
-		ev.fn()
-		return true
+	if len(e.heap) == 0 {
+		return false
 	}
-	return false
+	ev := heap.Pop(&e.heap).(*Event)
+	e.now = ev.at
+	if e.hook != nil {
+		e.hook(ev.at)
+	}
+	ev.fn()
+	return true
 }
 
 // Run processes events until the queue is empty.
@@ -130,15 +131,7 @@ func (e *Engine) Run() {
 // RunUntil processes events with timestamps <= t, then advances the
 // clock to exactly t (if it isn't already past it).
 func (e *Engine) RunUntil(t Time) {
-	for len(e.heap) > 0 {
-		next := e.heap[0]
-		if next.cancelled {
-			heap.Pop(&e.heap)
-			continue
-		}
-		if next.at > t {
-			break
-		}
+	for len(e.heap) > 0 && e.heap[0].at <= t {
 		e.Step()
 	}
 	if e.now < t {
@@ -152,16 +145,8 @@ func (e *Engine) RunUntil(t Time) {
 // events would destroy determinism.
 func (e *Engine) Advance(d Time) {
 	target := e.now + d
-	for len(e.heap) > 0 {
-		next := e.heap[0]
-		if next.cancelled {
-			heap.Pop(&e.heap)
-			continue
-		}
-		if next.at < target {
-			panic("sim: Advance would skip a pending event")
-		}
-		break
+	if len(e.heap) > 0 && e.heap[0].at < target {
+		panic("sim: Advance would skip a pending event")
 	}
 	e.now = target
 }

@@ -122,6 +122,73 @@ func TestEngineAdvance(t *testing.T) {
 	}
 }
 
+func TestEngineCancelSiblingFromCallback(t *testing.T) {
+	// Two events scheduled for the same instant: the first one's
+	// callback cancels the second while the engine is mid-dispatch at
+	// that instant. The sibling must not fire, and cancelling the event
+	// that is itself firing (already popped, index -1) must be safe.
+	e := NewEngine()
+	var aFired, bFired bool
+	var evA, evB *Event
+	evA = e.At(10, func() {
+		aFired = true
+		e.Cancel(evB) // sibling at the same instant, still in the heap
+		e.Cancel(evA) // self: already popped; must be a no-op
+	})
+	evB = e.At(10, func() { bFired = true })
+	e.Run()
+	if !aFired {
+		t.Fatal("first event did not fire")
+	}
+	if bFired {
+		t.Fatal("cancelled same-instant sibling fired anyway")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after run", e.Pending())
+	}
+}
+
+func TestEngineCancelSiblingUnderRunUntil(t *testing.T) {
+	// Same scenario through the RunUntil dispatch path.
+	e := NewEngine()
+	var evB *Event
+	bFired := false
+	e.At(10, func() { e.Cancel(evB) })
+	evB = e.At(10, func() { bFired = true })
+	e.RunUntil(10)
+	if bFired {
+		t.Fatal("cancelled sibling fired under RunUntil")
+	}
+	if e.Now() != 10 {
+		t.Fatalf("clock = %d, want 10", e.Now())
+	}
+}
+
+func TestEngineEventHook(t *testing.T) {
+	e := NewEngine()
+	var hooked []Time
+	e.SetEventHook(func(at Time) {
+		hooked = append(hooked, at)
+		if e.Now() != at {
+			t.Fatalf("hook at %d but clock is %d", at, e.Now())
+		}
+	})
+	e.At(10, func() {})
+	ev := e.At(20, func() {})
+	e.At(30, func() {})
+	e.Cancel(ev) // cancelled events must not reach the hook
+	e.Run()
+	if len(hooked) != 2 || hooked[0] != 10 || hooked[1] != 30 {
+		t.Fatalf("hook saw %v, want [10 30]", hooked)
+	}
+	e.SetEventHook(nil) // disabling must not break dispatch
+	e.At(40, func() {})
+	e.Run()
+	if len(hooked) != 2 {
+		t.Fatal("hook fired after being cleared")
+	}
+}
+
 func TestEnginePending(t *testing.T) {
 	e := NewEngine()
 	a := e.At(10, func() {})

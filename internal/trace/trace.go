@@ -1,0 +1,256 @@
+// Package trace is the simulation's observability layer: typed span
+// records over virtual time, fixed-bucket latency histograms, and
+// exporters producing Chrome trace_event JSON and a plain-text
+// histogram report.
+//
+// The paper's results are accounting tables — crossings, copies,
+// seeks, sync writes — and sim.Stats captures those totals. What flat
+// counters cannot show is *where the time went per request*: how long
+// a disk request sat in the driver queue versus seeking versus
+// transferring, what the tail of the HTTP request latency
+// distribution looks like, when an environment was switched out.
+// Tracer records exactly that, at virtual-time resolution, for any
+// simulated machine.
+//
+// # Zero overhead when disabled
+//
+// Every method is safe (and a near-free no-op) on a nil *Tracer; the
+// subsystems that emit spans hold a plain *Tracer pointer and the
+// disabled path is a nil check. No allocation, no locking, no clock
+// reads happen unless a tracer is attached.
+//
+// Like sim.Engine, a Tracer is not safe for concurrent use. The token
+// handoff protocol guarantees only one goroutine per machine touches
+// it at a time; attach distinct machines to one Tracer only when they
+// run sequentially (as cmd/xok-bench does).
+package trace
+
+import (
+	"fmt"
+
+	"xok/internal/sim"
+)
+
+// Arg is one key=value annotation on a span or instant event. Values
+// are pre-rendered strings so recording never needs reflection.
+type Arg struct {
+	Key string
+	Val string
+}
+
+// Phases of recorded events (a subset of the Chrome trace_event
+// phases).
+const (
+	phaseComplete = 'X' // a span with begin and end
+	phaseInstant  = 'i' // a point event
+)
+
+// Span is one recorded interval, in the coordinates of the machine
+// (PID) and lane (TID) that emitted it.
+type Span struct {
+	PID   int64
+	TID   int64
+	Cat   string
+	Name  string
+	Begin sim.Time
+	End   sim.Time
+	Args  []Arg
+}
+
+// event is the internal record for both spans and instants.
+type event struct {
+	phase byte
+	pid   int64
+	tid   int64
+	cat   string
+	name  string
+	begin sim.Time // instant events: the timestamp
+	end   sim.Time
+	args  []Arg
+}
+
+// MaxEvents bounds the event buffer; past it, new span/instant records
+// are counted as dropped rather than stored (histograms and counters
+// keep exact totals regardless). A Figure-2 run emits hundreds of
+// thousands of syscall spans; the cap keeps a full-suite trace bounded
+// in memory. A variable so tools (and tests) can resize it before
+// recording starts.
+var MaxEvents = 1 << 21
+
+// Tracer collects events, histograms and counters for one or more
+// sequentially-run machines.
+type Tracer struct {
+	events  []event
+	dropped int64
+
+	procs     []string          // index = pid
+	laneNames map[laneKey]string
+
+	hists     map[string]*Histogram
+	histOrder []string
+
+	counts     map[string]int64
+	countOrder []string
+}
+
+type laneKey struct {
+	pid int64
+	tid int64
+}
+
+// New returns an empty, enabled tracer. PID 0 is pre-registered as
+// "sim" for subsystems used standalone (e.g. a bare disk in a test).
+func New() *Tracer {
+	return &Tracer{
+		procs:     []string{"sim"},
+		laneNames: make(map[laneKey]string),
+		hists:     make(map[string]*Histogram),
+		counts:    make(map[string]int64),
+	}
+}
+
+// def is the package default tracer, picked up by kernel.New when no
+// tracer is set explicitly (cmd/xok-bench installs one before running
+// experiments). Nil means tracing is off everywhere by default.
+var def *Tracer
+
+// SetDefault installs t as the package default tracer.
+func SetDefault(t *Tracer) { def = t }
+
+// Default returns the package default tracer (nil if unset).
+func Default() *Tracer { return def }
+
+// Enabled reports whether t records anything. It is the idiomatic
+// guard before building args for a span.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// AddProcess registers a simulated machine and returns its pid for
+// subsequent Span/Observe calls. Exported as a Chrome process so each
+// machine gets its own swimlane group.
+func (t *Tracer) AddProcess(name string) int64 {
+	if t == nil {
+		return 0
+	}
+	if name == "" {
+		name = fmt.Sprintf("machine-%d", len(t.procs))
+	}
+	t.procs = append(t.procs, name)
+	return int64(len(t.procs) - 1)
+}
+
+// NameLane labels a (pid, tid) lane — exported as a Chrome thread
+// name. Renaming a lane overwrites the previous label.
+func (t *Tracer) NameLane(pid, tid int64, name string) {
+	if t == nil {
+		return
+	}
+	t.laneNames[laneKey{pid, tid}] = name
+}
+
+// Span records a completed interval [begin, end] on a lane.
+func (t *Tracer) Span(pid, tid int64, cat, name string, begin, end sim.Time, args ...Arg) {
+	if t == nil {
+		return
+	}
+	if end < begin {
+		end = begin
+	}
+	t.record(event{phase: phaseComplete, pid: pid, tid: tid, cat: cat, name: name,
+		begin: begin, end: end, args: args})
+}
+
+// Instant records a point event on a lane.
+func (t *Tracer) Instant(pid, tid int64, cat, name string, at sim.Time, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.record(event{phase: phaseInstant, pid: pid, tid: tid, cat: cat, name: name,
+		begin: at, end: at, args: args})
+}
+
+func (t *Tracer) record(ev event) {
+	if len(t.events) >= MaxEvents {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, ev)
+}
+
+// Observe adds one latency sample to the named histogram, keyed per
+// machine ("<process>/<name>"). Histograms are exact regardless of the
+// event cap.
+func (t *Tracer) Observe(pid int64, name string, d sim.Time) {
+	if t == nil {
+		return
+	}
+	key := t.procName(pid) + "/" + name
+	h, ok := t.hists[key]
+	if !ok {
+		h = newHistogram(key)
+		t.hists[key] = h
+		t.histOrder = append(t.histOrder, key)
+	}
+	h.Observe(d)
+}
+
+// Count adds n to a named per-machine counter (the engine's per-event
+// hook feeds "events" through this).
+func (t *Tracer) Count(pid int64, name string, n int64) {
+	if t == nil {
+		return
+	}
+	key := t.procName(pid) + "/" + name
+	if _, ok := t.counts[key]; !ok {
+		t.countOrder = append(t.countOrder, key)
+	}
+	t.counts[key] += n
+}
+
+// Hist returns the named histogram for a machine, or nil if nothing
+// was observed under that name.
+func (t *Tracer) Hist(pid int64, name string) *Histogram {
+	if t == nil {
+		return nil
+	}
+	return t.hists[t.procName(pid)+"/"+name]
+}
+
+// Spans returns the recorded spans (phase-X events only), in recording
+// order. Intended for tests and programmatic inspection.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	out := make([]Span, 0, len(t.events))
+	for _, ev := range t.events {
+		if ev.phase != phaseComplete {
+			continue
+		}
+		out = append(out, Span{PID: ev.pid, TID: ev.tid, Cat: ev.cat, Name: ev.name,
+			Begin: ev.begin, End: ev.end, Args: ev.args})
+	}
+	return out
+}
+
+// Dropped reports how many events were discarded past MaxEvents.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Events reports how many events were recorded.
+func (t *Tracer) Events() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+func (t *Tracer) procName(pid int64) string {
+	if pid >= 0 && pid < int64(len(t.procs)) {
+		return t.procs[pid]
+	}
+	return fmt.Sprintf("pid%d", pid)
+}

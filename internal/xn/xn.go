@@ -32,12 +32,14 @@ package xn
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"xok/internal/cap"
 	"xok/internal/disk"
 	"xok/internal/kernel"
 	"xok/internal/mem"
 	"xok/internal/sim"
+	"xok/internal/trace"
 	"xok/internal/udf"
 )
 
@@ -319,10 +321,21 @@ func (x *XN) charge(e *kernel.Env, work sim.Time) {
 	e.Syscall(work)
 }
 
-// chargeUDF bills interpreted UDF steps.
+// chargeUDF bills interpreted UDF steps. With tracing on, each
+// interpretation becomes a span and a latency sample, so the cost of
+// in-kernel UDF interpretation is attributable per call.
 func (x *XN) chargeUDF(e *kernel.Env, steps int) {
 	x.K.Stats.Add(sim.CtrUDFSteps, int64(steps))
 	if e != nil && !x.FreeCost {
+		if tr := x.K.Trace; tr != nil {
+			begin := x.K.Now()
+			e.Use(sim.Time(steps) * sim.CostUDFStep)
+			now := x.K.Now()
+			tr.Span(x.K.TracePID, e.TraceLane(), "xn", "udf", begin, now,
+				trace.Arg{Key: "steps", Val: strconv.Itoa(steps)})
+			tr.Observe(x.K.TracePID, "xn.udf", now-begin)
+			return
+		}
 		e.Use(sim.Time(steps) * sim.CostUDFStep)
 	}
 }
