@@ -1,11 +1,15 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench
+.PHONY: all build fmt vet test race crash check bench
 
 all: check
 
 build:
 	$(GO) build ./...
+
+fmt:
+	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -16,11 +20,17 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The full pre-commit gate: everything compiles, vet is clean, and the
-# whole suite passes under the race detector (the token-handoff
-# protocol in internal/sim is exactly the kind of code -race exists
-# for).
-check: build vet race
+# The crash-enumeration suite, forced to re-run (-count=1) under the
+# race detector: fault injection must stay bit-deterministic even with
+# -race's scheduling noise.
+crash:
+	$(GO) test -race -count=1 -run TestCrashEnum ./internal/workload/
+
+# The full pre-commit gate: everything compiles, the tree is gofmt
+# clean, vet is clean, the whole suite passes under the race detector
+# (the token-handoff protocol in internal/sim is exactly the kind of
+# code -race exists for), and the crash-enumeration sweep re-runs.
+check: build fmt vet race crash
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

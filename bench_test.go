@@ -21,6 +21,7 @@ import (
 	"xok/internal/exos"
 	"xok/internal/httpd"
 	"xok/internal/kernel"
+	"xok/internal/machine"
 	"xok/internal/ostest"
 	"xok/internal/sim"
 	"xok/internal/unix"
@@ -103,16 +104,14 @@ func BenchmarkTable2_Pipes(b *testing.B) {
 		run  func() ostest.RunFunc
 	}{
 		{"SharedMemory", func() ostest.RunFunc {
-			s := exos.Boot(exos.Config{SharedMemPipes: true})
-			return func(m func(unix.Proc)) { s.Spawn("t", 0, m); s.Run() }
+			return machine.Runner(machine.MustNew(machine.Config{
+				Personality: machine.XokExOS, SharedMemPipes: true}))
 		}},
 		{"Protection", func() ostest.RunFunc {
-			s := exos.Boot(exos.Config{})
-			return func(m func(unix.Proc)) { s.Spawn("t", 0, m); s.Run() }
+			return machine.Runner(machine.MustNew(machine.Config{Personality: machine.XokExOS}))
 		}},
 		{"OpenBSD", func() ostest.RunFunc {
-			s := bsdos.Boot(bsdos.OpenBSD, bsdos.Config{})
-			return func(m func(unix.Proc)) { s.Spawn("t", 0, m); s.Run() }
+			return machine.Runner(machine.MustNew(machine.Config{Personality: machine.OpenBSD}))
 		}},
 	}
 	for _, impl := range impls {
@@ -134,23 +133,20 @@ func BenchmarkEmulatorGetpid(b *testing.B) {
 	b.Run("OpenBSD-native", func(b *testing.B) {
 		var cycles sim.Time
 		for i := 0; i < b.N; i++ {
-			s := bsdos.Boot(bsdos.OpenBSD, bsdos.Config{})
-			cycles = ostest.GetpidCost(func(m func(unix.Proc)) {
-				s.Spawn("t", 0, m)
-				s.Run()
-			})
+			m := machine.MustNew(machine.Config{Personality: machine.OpenBSD})
+			cycles = ostest.GetpidCost(machine.Runner(m))
 		}
 		b.ReportMetric(float64(cycles), "vcycles/call")
 	})
 	b.Run("Xok-emulated", func(b *testing.B) {
 		var cycles sim.Time
 		for i := 0; i < b.N; i++ {
-			s := exos.Boot(exos.Config{})
-			cycles = ostest.GetpidCost(func(m func(unix.Proc)) {
-				s.Spawn("t", 0, func(p unix.Proc) {
-					m(wrapEmulated{p})
+			m := machine.MustNew(machine.Config{Personality: machine.XokExOS})
+			cycles = ostest.GetpidCost(func(fn func(unix.Proc)) {
+				m.SpawnProc("t", 0, func(p unix.Proc) {
+					fn(wrapEmulated{p})
 				})
-				s.Run()
+				m.Run()
 			})
 		}
 		b.ReportMetric(float64(cycles), "vcycles/call")
@@ -190,7 +186,7 @@ func xcpPair(b *testing.B, cold bool) (cpT, xcpT sim.Time) {
 	b.Helper()
 	const n, size = 8, 400_000
 	stage := func() (*exos.System, [][2]string) {
-		s := exos.Boot(exos.Config{})
+		s := machine.MustNew(machine.Config{Personality: machine.XokExOS}).(machine.Xok).S
 		pairs := make([][2]string, n)
 		s.Spawn("stage", 0, func(p unix.Proc) {
 			fds := make([]unix.FD, n)

@@ -7,8 +7,15 @@
 //	xok-bench                  # run everything
 //	xok-bench -run figure2     # one experiment: figure2, mab,
 //	                           # protection, table2, figure3, figure4,
-//	                           # figure5, emulator, xcp
+//	                           # figure5, emulator, xcp, crash
 //	xok-bench -full            # full-size Figures 4/5 (7/1 .. 35/5)
+//
+// Fault injection (internal/fault):
+//
+//	xok-bench -run crash                   # crash-point enumeration,
+//	                                       # default plan (seed 1, torn
+//	                                       # writes)
+//	xok-bench -run crash -faults 42:torn   # same sweep, custom plan
 //
 // Observability (internal/trace):
 //
@@ -27,11 +34,12 @@ import (
 	"strings"
 
 	"xok/internal/apps"
-	"xok/internal/bsdos"
 	"xok/internal/cap"
 	"xok/internal/core"
 	"xok/internal/exos"
+	"xok/internal/fault"
 	"xok/internal/kernel"
+	"xok/internal/machine"
 	"xok/internal/ostest"
 	"xok/internal/sim"
 	"xok/internal/trace"
@@ -40,10 +48,11 @@ import (
 )
 
 var (
-	runFlag   = flag.String("run", "all", "experiment to run (all, figure2, mab, protection, table2, figure3, figure4, figure5, emulator, xcp)")
-	fullFlag  = flag.Bool("full", false, "run Figures 4/5 at full size (35 jobs); slower")
-	traceFlag = flag.String("trace", "", "write a Chrome trace_event JSON timeline of every simulated machine to this file")
-	histFlag  = flag.Bool("hist", false, "print per-machine latency histograms (p50/p90/p99) after the experiments")
+	runFlag    = flag.String("run", "all", "experiment to run (all, figure2, mab, protection, table2, figure3, figure4, figure5, emulator, xcp, crash)")
+	fullFlag   = flag.Bool("full", false, "run Figures 4/5 at full size (35 jobs); slower")
+	traceFlag  = flag.String("trace", "", "write a Chrome trace_event JSON timeline of every simulated machine to this file")
+	histFlag   = flag.Bool("hist", false, "print per-machine latency histograms (p50/p90/p99) after the experiments")
+	faultsFlag = flag.String("faults", "", "fault plan as seed[:spec], e.g. 42:torn,loss=50 (see internal/fault); used by -run crash")
 )
 
 func main() {
@@ -66,8 +75,9 @@ func main() {
 		"figure5":    func() { globalPerf("Figure 5 (pool 2)", core.Pool2()) },
 		"emulator":   emulator,
 		"xcp":        xcp,
+		"crash":      crash,
 	}
-	order := []string{"figure2", "mab", "protection", "table2", "emulator", "xcp", "figure3", "figure4", "figure5"}
+	order := []string{"figure2", "mab", "protection", "table2", "emulator", "xcp", "crash", "figure3", "figure4", "figure5"}
 	if *runFlag == "all" {
 		for _, name := range order {
 			experiments[name]()
@@ -250,9 +260,9 @@ func emulator() {
 	fmt.Println("paper: getpid 270 cycles on OpenBSD, 100 cycles emulated on Xok/ExOS")
 
 	// Emulated getpid on Xok/ExOS (reroute + ExOS library call).
-	sys := exos.Boot(exos.Config{})
+	sys := machine.MustNew(machine.Config{Personality: machine.XokExOS})
 	var emulated sim.Time
-	sys.Spawn("emu", 0, func(p unix.Proc) {
+	sys.SpawnProc("emu", 0, func(p unix.Proc) {
 		ep := emulateGetpid(p)
 		const n = 2000
 		ep()
@@ -264,11 +274,8 @@ func emulator() {
 	})
 	sys.Run()
 
-	bsd := bsdos.Boot(bsdos.OpenBSD, bsdos.Config{})
-	native := ostest.GetpidCost(func(main func(unix.Proc)) {
-		bsd.Spawn("n", 0, main)
-		bsd.Run()
-	})
+	bsd := machine.MustNew(machine.Config{Personality: machine.OpenBSD})
+	native := ostest.GetpidCost(machine.Runner(bsd))
 	fmt.Printf("\ngetpid: native OpenBSD %d cycles, emulated on Xok/ExOS %d cycles\n",
 		native, emulated)
 }
@@ -281,6 +288,38 @@ func emulateGetpid(p unix.Proc) func() int {
 		p.Compute(12) // INT reroute trampoline
 		return p.Getpid()
 	}
+}
+
+func crash() {
+	header("Crash-point enumeration (Section 4.4 recovery)")
+	fmt.Println("paper: XN's reachability scan rebuilds the free map after any crash;")
+	fmt.Println("C-FFS metadata stays consistent without ordered cleanup")
+	cfg := workload.CrashConfig{}
+	if *faultsFlag != "" {
+		plan, err := fault.Parse(*faultsFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Plan = plan
+	}
+	res, err := workload.CrashEnumerate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan := cfg.Plan
+	if plan == nil {
+		plan = &fault.Plan{Seed: 1, TornWrites: true}
+	}
+	fmt.Printf("\nfault plan:                %s\n", plan)
+	fmt.Printf("write boundaries observed: %d\n", res.Boundaries)
+	fmt.Printf("crash points tested:       %d\n", len(res.Points))
+	fmt.Printf("recovered clean:           %d/%d\n", len(res.Points)-res.Violations(), len(res.Points))
+	for _, pt := range res.Points {
+		for _, v := range pt.Violations {
+			fmt.Printf("  crash@%v: %s\n", pt.At, v)
+		}
+	}
+	fmt.Printf("outcome digest:            %016x (same seed => same digest)\n", res.Digest)
 }
 
 func xcp() {
@@ -300,7 +339,7 @@ func xcp() {
 func xcpOnce(cold bool) (cpT, xcpT sim.Time) {
 	const n, size = 8, 400_000
 	stage := func() (*exos.System, [][2]string) {
-		s := exos.Boot(exos.Config{})
+		s := machine.MustNew(machine.Config{Personality: machine.XokExOS}).(machine.Xok).S
 		pairs := make([][2]string, n)
 		s.Spawn("stage", 0, func(p unix.Proc) {
 			fds := make([]unix.FD, n)

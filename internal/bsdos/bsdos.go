@@ -28,8 +28,10 @@ import (
 
 	"xok/internal/cap"
 	"xok/internal/cffs"
+	"xok/internal/fault"
 	"xok/internal/kernel"
 	"xok/internal/sim"
+	"xok/internal/trace"
 	"xok/internal/unix"
 	"xok/internal/xn"
 )
@@ -67,6 +69,17 @@ const openBSDCachePages = 800
 type Config struct {
 	DiskBlocks int64
 	MemPages   int
+
+	// Spindles > 1 builds the volume as a RAID-0 stripe set of that
+	// many disks, StripeUnit blocks per unit (see kernel.Config).
+	Spindles   int
+	StripeUnit int64
+
+	// Trace and Faults are handed straight to the kernel: the
+	// observability sink and the deterministic fault plan (both nil by
+	// default).
+	Trace  *trace.Tracer
+	Faults *fault.Plan
 }
 
 // System is one booted BSD machine.
@@ -88,10 +101,14 @@ func Boot(v Variant, cfg Config) *System {
 		cfg.MemPages = 16384
 	}
 	k := kernel.New(kernel.Config{
-		Name:     v.String(),
-		TrapCost: sim.CostTrapBSD,
-		MemPages: cfg.MemPages,
-		DiskSize: cfg.DiskBlocks,
+		Name:       v.String(),
+		TrapCost:   sim.CostTrapBSD,
+		MemPages:   cfg.MemPages,
+		DiskSize:   cfg.DiskBlocks,
+		Spindles:   cfg.Spindles,
+		StripeUnit: cfg.StripeUnit,
+		Trace:      cfg.Trace,
+		Faults:     cfg.Faults,
 	})
 	x := xn.New(k)
 	x.FreeCost = true   // in-kernel FS: no protection-boundary charging

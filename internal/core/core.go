@@ -18,9 +18,9 @@ import (
 	"xok/internal/bsdos"
 	"xok/internal/exos"
 	"xok/internal/httpd"
+	"xok/internal/machine"
 	"xok/internal/ostest"
 	"xok/internal/sim"
-	"xok/internal/unix"
 	"xok/internal/workload"
 )
 
@@ -82,21 +82,10 @@ type Table2Row struct {
 // wakeup predicates), and OpenBSD's in-kernel pipes.
 func RunTable2() ([]Table2Row, error) {
 	const rounds = 200
-	runner := func(sys interface {
-		Run()
-	}, spawn func(main func(unix.Proc))) ostest.RunFunc {
-		return func(main func(unix.Proc)) {
-			spawn(main)
-			sys.Run()
-		}
-	}
-
-	shared := exos.Boot(exos.Config{SharedMemPipes: true})
-	sharedRun := runner(shared, func(m func(unix.Proc)) { shared.Spawn("t", 0, m) })
-	prot := exos.Boot(exos.Config{})
-	protRun := runner(prot, func(m func(unix.Proc)) { prot.Spawn("t", 0, m) })
-	bsd := bsdos.Boot(bsdos.OpenBSD, bsdos.Config{})
-	bsdRun := runner(bsd, func(m func(unix.Proc)) { bsd.Spawn("t", 0, m) })
+	sharedRun := machine.Runner(machine.MustNew(machine.Config{
+		Personality: machine.XokExOS, SharedMemPipes: true}))
+	protRun := machine.Runner(machine.MustNew(machine.Config{Personality: machine.XokExOS}))
+	bsdRun := machine.Runner(machine.MustNew(machine.Config{Personality: machine.OpenBSD}))
 
 	rows := []Table2Row{
 		{

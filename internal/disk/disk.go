@@ -27,6 +27,7 @@ import (
 	"sort"
 	"strconv"
 
+	"xok/internal/fault"
 	"xok/internal/sim"
 	"xok/internal/trace"
 )
@@ -45,6 +46,13 @@ type Request struct {
 	Pages [][]byte // one 4-KB slice per block; may be nil (timing-only I/O)
 	Done  func(*Request)
 
+	// Err carries a media error to the completion callback: the drive
+	// serviced the request but could not read the sectors
+	// (fault.ErrMedia, injected by an attached fault plan). Writes
+	// never fail this way; a dying write is modelled as a torn write in
+	// the crash image instead.
+	Err error
+
 	queuedAt sim.Time
 	svcStart sim.Time // when the spindle began servicing this request
 	seekT    sim.Time // seek component of the service time
@@ -60,6 +68,7 @@ type spindle struct {
 	head  BlockNo
 	busy  bool
 	queue []*Request
+	cur   *Request // the request in service (CrashImage's torn writes)
 }
 
 // Disk is the drive (or striped drive set) plus its driver queues.
@@ -79,42 +88,83 @@ type Disk struct {
 	tr    *trace.Tracer // span/histogram sink; nil = tracing off
 	trPID int64
 
+	faults *fault.Plan // fault plan; nil = no injection
+
 	store map[BlockNo][]byte // media contents, allocated lazily
 }
 
-// New returns a single-spindle disk with nblocks 4-KB blocks.
-func New(eng *sim.Engine, stats *sim.Stats, nblocks int64) *Disk {
-	return NewStriped(eng, stats, nblocks, 1, nblocks)
+// Option configures a Disk at construction (functional options).
+type Option func(*Disk)
+
+// WithStriping builds the disk as a RAID-0 set: the logical space
+// striped across n spindles in stripeUnit-block units (default 16).
+// The logical block interface is unchanged; requests are split at
+// stripe boundaries and serviced by the owning spindles in parallel
+// (Section 4.6's "range of file systems ... RAID").
+func WithStriping(n int, stripeUnit int64) Option {
+	return func(d *Disk) {
+		if n < 1 {
+			n = 1
+		}
+		if stripeUnit < 1 {
+			stripeUnit = 16
+		}
+		d.spindles = make([]spindle, n)
+		for i := range d.spindles {
+			d.spindles[i].idx = i
+		}
+		d.stripeUnit = stripeUnit
+	}
 }
 
-// NewStriped returns a RAID-0 set: nblocks of logical space striped
-// across n spindles in stripeUnit-block units. The logical block
-// interface is unchanged; requests are split at stripe boundaries and
-// serviced by the owning spindles in parallel.
-func NewStriped(eng *sim.Engine, stats *sim.Stats, nblocks int64, n int, stripeUnit int64) *Disk {
-	if n < 1 {
-		n = 1
+// WithFaults attaches a fault plan: read media errors (Request.Err)
+// and torn writes in CrashImage. A nil plan is the default — no
+// injection, one nil check per request.
+func WithFaults(p *fault.Plan) Option {
+	return func(d *Disk) { d.faults = p }
+}
+
+// WithTrace attaches a tracer at construction: each spindle becomes a
+// trace lane and every request gets queue and service spans plus
+// latency-histogram samples. Option order does not matter — lanes are
+// named once the spindle count is final.
+func WithTrace(tr *trace.Tracer, pid int64) Option {
+	return func(d *Disk) {
+		d.tr = tr
+		d.trPID = pid
 	}
-	if stripeUnit < 1 {
-		stripeUnit = 16
-	}
+}
+
+// New returns a disk with nblocks 4-KB blocks: a single spindle unless
+// WithStriping says otherwise, silent unless WithTrace, fault-free
+// unless WithFaults.
+func New(eng *sim.Engine, stats *sim.Stats, nblocks int64, opts ...Option) *Disk {
 	d := &Disk{
 		eng:        eng,
 		stats:      stats,
 		nblocks:    nblocks,
-		spindles:   make([]spindle, n),
-		stripeUnit: stripeUnit,
+		spindles:   make([]spindle, 1),
+		stripeUnit: nblocks,
 		store:      make(map[BlockNo][]byte),
 	}
-	for i := range d.spindles {
-		d.spindles[i].idx = i
+	for _, opt := range opts {
+		opt(d)
+	}
+	if d.tr.Enabled() {
+		d.SetTrace(d.tr, d.trPID)
 	}
 	return d
 }
 
-// SetTrace attaches a tracer: each spindle becomes a trace lane and
-// every request gets queue and service spans plus latency-histogram
-// samples. A nil tracer turns tracing off.
+// NewStriped returns a RAID-0 set.
+//
+// Deprecated: use New with WithStriping.
+func NewStriped(eng *sim.Engine, stats *sim.Stats, nblocks int64, n int, stripeUnit int64) *Disk {
+	return New(eng, stats, nblocks, WithStriping(n, stripeUnit))
+}
+
+// SetTrace attaches a tracer after construction (prefer WithTrace). A
+// nil tracer turns tracing off.
 func (d *Disk) SetTrace(tr *trace.Tracer, pid int64) {
 	d.tr = tr
 	d.trPID = pid
@@ -225,7 +275,10 @@ func (d *Disk) split(r *Request) []*Request {
 	}
 	outstanding := len(pieces)
 	for _, pc := range pieces {
-		pc.Done = func(*Request) {
+		pc.Done = func(done *Request) {
+			if done.Err != nil && r.Err == nil {
+				r.Err = done.Err // first piece error wins
+			}
 			outstanding--
 			if outstanding == 0 && r.Done != nil {
 				r.Done(r)
@@ -326,17 +379,25 @@ func (d *Disk) startNext(sp *spindle) {
 	r := d.pickNext(sp)
 	if r == nil {
 		sp.busy = false
+		sp.cur = nil
 		return
 	}
 	sp.busy = true
+	sp.cur = r
 	r.svcStart = d.eng.Now()
 	t := d.serviceTime(sp, r)
 	d.eng.After(t, func() { d.complete(sp, r) })
 }
 
 func (d *Disk) complete(sp *spindle, r *Request) {
+	sp.cur = nil
+	if !r.Write && d.faults.ReadError() {
+		// The drive could not read the sectors: no data transfers, the
+		// completion carries the error.
+		r.Err = fault.ErrMedia
+	}
 	// DMA the data at completion time.
-	for i := 0; i < r.Count; i++ {
+	for i := 0; r.Err == nil && i < r.Count; i++ {
 		b := r.Block + BlockNo(i)
 		if r.Write {
 			if r.Pages != nil {
@@ -353,6 +414,11 @@ func (d *Disk) complete(sp *spindle, r *Request) {
 				}
 			}
 		}
+	}
+	if r.Write {
+		// Report the synchronous-write boundary to the fault plan's
+		// observer (the crash-enumeration harness collects these).
+		d.faults.NoteWrite(d.eng.Now(), int64(r.Block), r.Count)
 	}
 	sp.head = d.physOf(r.Block) + BlockNo(r.Count)
 	if d.tr.Enabled() {
@@ -419,12 +485,16 @@ func (d *Disk) PokeBlock(b BlockNo, data []byte) {
 	copy(blk, data)
 }
 
+// Image is a disk's media contents at one instant — what Snapshot and
+// CrashImage return and Restore transplants into a fresh machine.
+type Image = map[BlockNo][]byte
+
 // Snapshot deep-copies the media contents at this instant. Requests
 // still in the driver queue are NOT reflected — exactly the state a
 // power failure would leave. Crash tests transplant the snapshot into
 // a fresh machine with Restore.
-func (d *Disk) Snapshot() map[BlockNo][]byte {
-	out := make(map[BlockNo][]byte, len(d.store))
+func (d *Disk) Snapshot() Image {
+	out := make(Image, len(d.store))
 	for b, blk := range d.store {
 		cp := make([]byte, len(blk))
 		copy(cp, blk)
@@ -433,8 +503,60 @@ func (d *Disk) Snapshot() map[BlockNo][]byte {
 	return out
 }
 
+// CrashImage is the media contents a power failure at this instant
+// would leave. Without a fault plan (or with TornWrites off) it equals
+// Snapshot: queued and in-flight requests vanish, media is whole-block
+// consistent. With TornWrites armed, a write that is mid-transfer has
+// its already-transferred whole blocks applied, plus the transferred
+// byte prefix of the block under the head — the torn-write case
+// recovery code must survive.
+func (d *Disk) CrashImage() Image {
+	img := d.Snapshot()
+	if !d.faults.Torn() {
+		return img
+	}
+	now := d.eng.Now()
+	for i := range d.spindles {
+		r := d.spindles[i].cur
+		if r == nil || !r.Write || r.Pages == nil {
+			continue
+		}
+		// Positioning (controller overhead, seek, rotation) precedes
+		// any media transfer; only time past it moves data.
+		pre := sim.DiskControllerOverhead + r.seekT + r.rotT
+		elapsed := now - r.svcStart
+		if elapsed <= pre {
+			continue
+		}
+		xfer := elapsed - pre
+		full := int(xfer / sim.DiskTransferPerBlock)
+		if full > r.Count {
+			full = r.Count
+		}
+		for j := 0; j < full; j++ {
+			blk := make([]byte, sim.DiskBlockSize)
+			copy(blk, r.Pages[j])
+			img[r.Block+BlockNo(j)] = blk
+		}
+		if full < r.Count {
+			frac := xfer - sim.Time(full)*sim.DiskTransferPerBlock
+			nbytes := int(int64(frac) * sim.DiskBlockSize / int64(sim.DiskTransferPerBlock))
+			if nbytes > 0 {
+				b := r.Block + BlockNo(full)
+				blk := make([]byte, sim.DiskBlockSize)
+				if old, ok := img[b]; ok {
+					copy(blk, old)
+				}
+				copy(blk[:nbytes], r.Pages[full])
+				img[b] = blk
+			}
+		}
+	}
+	return img
+}
+
 // Restore replaces the media contents with a snapshot.
-func (d *Disk) Restore(snap map[BlockNo][]byte) {
+func (d *Disk) Restore(snap Image) {
 	d.store = make(map[BlockNo][]byte, len(snap))
 	for b, blk := range snap {
 		cp := make([]byte, len(blk))

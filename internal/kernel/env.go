@@ -83,6 +83,14 @@ func (e *Env) CPUUsed() sim.Time { return e.cpuUsed }
 // the HTTP connections 10000+.
 func (e *Env) TraceLane() int64 { return 100 + int64(e.id) }
 
+// exit terminates the environment from inside its own code: hand the
+// token back as an exit and unwind the goroutine. Spawn's recover
+// swallows the poison, the scheduler wakes any WaitFor-ers.
+func (e *Env) exit() {
+	e.park(parkMsg{env: e, kind: parkExit})
+	panic(errKilled)
+}
+
 // park hands the token to the scheduler and blocks until resumed.
 func (e *Env) park(msg parkMsg) {
 	e.k.parkCh <- msg
@@ -107,6 +115,13 @@ func (e *Env) Use(c sim.Time) {
 // Syscall charges one kernel crossing plus the in-kernel work cost.
 func (e *Env) Syscall(work sim.Time) {
 	e.k.Stats.Inc(sim.CtrSyscalls)
+	if e.k.Faults.KillNow(e.name) {
+		// The fault plan kills this environment mid-syscall: it paid
+		// the trap but never returns — exactly a process destroyed
+		// through the kernel interface while inside a call.
+		e.Use(e.k.cfg.TrapCost)
+		e.exit()
+	}
 	if tr := e.k.Trace; tr != nil {
 		begin := e.k.Eng.Now()
 		e.Use(e.k.cfg.TrapCost + work)

@@ -1,0 +1,84 @@
+package kernel
+
+import (
+	"bytes"
+	"testing"
+
+	"xok/internal/disk"
+	"xok/internal/fault"
+	"xok/internal/sim"
+)
+
+func TestEnvKillMidSyscall(t *testing.T) {
+	plan := &fault.Plan{KillSyscallNth: 3, KillEnv: "victim"}
+	k := New(Config{Name: "xok", MemPages: 256, Faults: plan})
+
+	completed := 0
+	victim := k.Spawn("victim", func(e *Env) {
+		for i := 0; i < 10; i++ {
+			e.Syscall(100)
+			completed++
+		}
+	})
+	waited := false
+	bystanderDone := false
+	k.Spawn("waiter", func(e *Env) {
+		e.WaitFor(victim)
+		waited = true
+	})
+	k.Spawn("bystander", func(e *Env) {
+		for i := 0; i < 5; i++ {
+			e.Syscall(100)
+		}
+		bystanderDone = true
+	})
+	k.Run()
+
+	if completed != 2 {
+		t.Errorf("victim completed %d syscalls, want 2 (killed inside the 3rd)", completed)
+	}
+	if !victim.Dead() {
+		t.Error("victim not dead")
+	}
+	if !waited {
+		t.Error("WaitFor on the killed env never returned")
+	}
+	if !bystanderDone {
+		t.Error("bystander disturbed by the kill")
+	}
+	if !plan.Killed() {
+		t.Error("plan did not latch the kill")
+	}
+	if k.LiveEnvs() != 0 {
+		t.Errorf("LiveEnvs = %d after drain", k.LiveEnvs())
+	}
+}
+
+func TestKillEnvNameFilter(t *testing.T) {
+	plan := &fault.Plan{KillSyscallNth: 1, KillEnv: "nobody"}
+	k := New(Config{Name: "xok", MemPages: 256, Faults: plan})
+	ok := false
+	k.Spawn("worker", func(e *Env) {
+		e.Syscall(0)
+		ok = true
+	})
+	k.Run()
+	if !ok || plan.Killed() {
+		t.Fatalf("kill fired for a non-matching env (ok=%v killed=%v)", ok, plan.Killed())
+	}
+}
+
+func TestCrashCapturesMediaNotInFlight(t *testing.T) {
+	k := New(Config{Name: "xok", MemPages: 256, DiskSize: 128})
+	durable := bytes.Repeat([]byte{0xD0}, sim.DiskBlockSize)
+	k.Disk.PokeBlock(1, durable)
+	page := bytes.Repeat([]byte{0xEE}, sim.DiskBlockSize)
+	k.Disk.Submit(&disk.Request{Write: true, Block: 2, Count: 1, Pages: [][]byte{page}})
+	img := k.Crash(10) // long before the write's service completes
+	if !bytes.Equal(img[1], durable) {
+		t.Error("durable block missing from crash image")
+	}
+	if _, ok := img[2]; ok {
+		t.Error("in-flight write reached the crash image without torn writes armed")
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"xok/internal/disk"
+	"xok/internal/fault"
 	"xok/internal/mem"
 	"xok/internal/sim"
 	"xok/internal/trace"
@@ -49,6 +50,12 @@ type Config struct {
 	// cmd/xok-bench -trace) is used; if that is nil too, tracing is
 	// off and costs nothing.
 	Trace *trace.Tracer
+
+	// Faults attaches a deterministic fault plan (internal/fault): the
+	// disk consults it for media errors and torn writes, Env.Syscall
+	// for env kills. Nil — the default — injects nothing and costs one
+	// nil check per decision point, the same contract as Trace.
+	Faults *fault.Plan
 }
 
 // DefaultQuantum is a 10-ms scheduler slice.
@@ -66,6 +73,11 @@ type Kernel struct {
 	// on the kernel (netsim, cffs, xn) emit through these.
 	Trace    *trace.Tracer
 	TracePID int64
+
+	// Faults is the machine's fault plan (nil = no injection).
+	// Subsystems that need fault decisions (netsim) read it here, the
+	// same way they reach Trace.
+	Faults *fault.Plan
 
 	cfg     Config
 	nextEnv EnvID
@@ -99,21 +111,18 @@ func New(cfg Config) *Kernel {
 		Eng:     eng,
 		Stats:   st,
 		Mem:     mem.New(cfg.MemPages, st),
+		Faults:  cfg.Faults,
 		cfg:     cfg,
 		envs:    make(map[EnvID]*Env),
 		parkCh:  make(chan parkMsg),
 		regions: make(map[RegionID]*region),
 	}
 	if cfg.DiskSize > 0 {
+		opts := []disk.Option{disk.WithFaults(cfg.Faults)}
 		if cfg.Spindles > 1 {
-			unit := cfg.StripeUnit
-			if unit == 0 {
-				unit = 16
-			}
-			k.Disk = disk.NewStriped(eng, st, cfg.DiskSize, cfg.Spindles, unit)
-		} else {
-			k.Disk = disk.New(eng, st, cfg.DiskSize)
+			opts = append(opts, disk.WithStriping(cfg.Spindles, cfg.StripeUnit))
 		}
+		k.Disk = disk.New(eng, st, cfg.DiskSize, opts...)
 	}
 	tr := cfg.Trace
 	if tr == nil {
@@ -397,6 +406,21 @@ func (k *Kernel) Run() { k.Eng.Run() }
 
 // RunUntil processes events until time t.
 func (k *Kernel) RunUntil(t sim.Time) { k.Eng.RunUntil(t) }
+
+// Crash cuts the machine's power at virtual time at: events run to
+// that instant, the surviving disk image is captured (including torn
+// in-flight writes when the fault plan arms them), and every
+// environment dies. The returned image is what a fresh machine
+// remounts — the crash-recovery path of Section 4.4.
+func (k *Kernel) Crash(at sim.Time) disk.Image {
+	k.RunUntil(at)
+	var img disk.Image
+	if k.Disk != nil {
+		img = k.Disk.CrashImage()
+	}
+	k.Shutdown()
+	return img
+}
 
 // Shutdown kills every live environment goroutine. Call when a test or
 // benchmark finishes with environments still blocked.

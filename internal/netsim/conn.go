@@ -25,9 +25,11 @@ type Conn struct {
 	// retransmission fills).
 	expect    int // response bytes outstanding
 	got       int // contiguous bytes received
-	sawFIN    bool
+	gotSynAck bool
 	started   sim.Time
-	tsReq     sim.Time // when the server began serving the request
+	tsReq     sim.Time   // when the server began serving the request
+	deadline  sim.Time   // client stops re-sending past this point
+	ctimer    *sim.Event // client retransmission timer
 	onDone    func(latency sim.Time)
 	unacked   int // data segments since last client ACK
 	reqDocLen int
@@ -35,22 +37,29 @@ type Conn struct {
 	// Server-side retransmission state (the merged file cache /
 	// retransmission pool holds the data; nothing is re-read or
 	// re-copied on a retransmit).
-	srvTotal int
-	srvAcked int
-	srvDone  bool
-	rto      *sim.Event
+	srvAccepted bool
+	srvTotal    int
+	srvAcked    int
+	srvDone     bool
+	rto         *sim.Event
 }
+
+// clientRTO is the client-side retransmission timeout: shorter than the
+// server's RTO so a stalled handshake restarts before the server's
+// timer would have a say.
+const clientRTO = 60 * sim.Millisecond
 
 // clientDeliver handles a server->client segment at the client host.
 func (c *Conn) clientDeliver(pkt *Packet) {
+	if c.onDone != nil {
+		c.armTimer() // any arrival is progress; push the timer back
+	}
 	if pkt.Flags&FlagSYN != 0 {
-		// SYN-ACK: complete the handshake; piggyback the HTTP request
-		// on the client's ACK (a ~200-byte GET).
-		req := &Packet{
-			SrcPort: c.clientPort, DstPort: ServerPort,
-			Flags: FlagACK | FlagPSH, Payload: requestBytes, Conn: c,
+		if c.gotSynAck {
+			return // duplicate SYN-ACK
 		}
-		c.link.transmit(toServer, req.Payload, func() { c.net.serverRx(req) })
+		c.gotSynAck = true
+		c.sendRequest()
 		return
 	}
 	if pkt.Payload > 0 {
@@ -68,13 +77,17 @@ func (c *Conn) clientDeliver(pkt *Packet) {
 			c.sendAck()
 		}
 	}
-	if pkt.Flags&FlagFIN != 0 && c.got >= pkt.Seq {
-		c.sawFIN = true
-	}
-	if c.sawFIN && c.got >= c.expect {
+	// The client knows the response length up front, so arrival of the
+	// last byte completes the request — a lost FIN must not strand a
+	// connection whose data all made it.
+	if c.got >= c.expect {
 		done := c.onDone
 		c.onDone = nil
 		if done != nil {
+			if c.ctimer != nil {
+				c.net.Eng.Cancel(c.ctimer)
+				c.ctimer = nil
+			}
 			// Final cumulative ACK so the server can retire the
 			// connection.
 			c.sendAck()
@@ -82,6 +95,48 @@ func (c *Conn) clientDeliver(pkt *Packet) {
 			done(c.net.Eng.Now() - c.started)
 		}
 	}
+}
+
+// sendSyn opens (or re-opens) the handshake.
+func (c *Conn) sendSyn() {
+	syn := &Packet{SrcPort: c.clientPort, DstPort: ServerPort, Flags: FlagSYN, Conn: c}
+	c.net.xmit(c.link, toServer, syn, c.net.serverRx)
+}
+
+// sendRequest piggybacks the HTTP request (a ~200-byte GET) on the
+// client's handshake ACK.
+func (c *Conn) sendRequest() {
+	req := &Packet{
+		SrcPort: c.clientPort, DstPort: ServerPort,
+		Flags: FlagACK | FlagPSH, Payload: requestBytes, Conn: c,
+	}
+	c.net.xmit(c.link, toServer, req, c.net.serverRx)
+}
+
+// armTimer (re)schedules the client retransmission timer. The server's
+// go-back-N covers lost response data; this timer covers everything the
+// server cannot know about — a lost SYN, SYN-ACK or request, and lost
+// client ACKs that leave both ends waiting. On firing it re-sends
+// whatever the exchange is missing and re-arms.
+func (c *Conn) armTimer() {
+	if c.ctimer != nil {
+		c.net.Eng.Cancel(c.ctimer)
+	}
+	c.ctimer = c.net.Eng.After(clientRTO, func() {
+		c.ctimer = nil
+		if c.onDone == nil || c.net.Eng.Now() >= c.deadline {
+			return
+		}
+		switch {
+		case !c.gotSynAck:
+			c.sendSyn()
+		case c.got == 0:
+			c.sendRequest()
+		default:
+			c.sendAck() // remind the server of our progress
+		}
+		c.armTimer()
+	})
 }
 
 // lane is this connection's trace lane (TID): 10000 + the client port.
@@ -115,12 +170,11 @@ func (c *Conn) sendAck() {
 		SrcPort: c.clientPort, DstPort: ServerPort,
 		Flags: FlagACK, Ack: c.got, Conn: c,
 	}
-	c.link.transmit(toServer, 0, func() { c.net.serverRx(ack) })
+	c.net.xmit(c.link, toServer, ack, c.net.serverRx)
 }
 
-// sendToClient transmits a server segment. Data segments may be lost
-// (Net.LossRate); the wire time is still consumed — the frame goes out,
-// it just never arrives.
+// sendToClient transmits a server segment; Net.xmit applies the fault
+// decisions (loss, duplication, reordering) on the way out.
 func (c *Conn) sendToClient(flags uint8, payload, seq int) {
 	c.net.K.Stats.Inc(sim.CtrPacketsTx)
 	if tr := c.net.K.Trace; tr != nil {
@@ -129,13 +183,7 @@ func (c *Conn) sendToClient(flags uint8, payload, seq int) {
 			trace.Arg{Key: "payload", Val: strconv.Itoa(payload)})
 	}
 	pkt := &Packet{SrcPort: ServerPort, DstPort: c.clientPort, Flags: flags, Payload: payload, Seq: seq, Conn: c}
-	lost := payload > 0 && c.net.LossRate > 0 && c.net.lossRNG.Intn(c.net.LossRate) == 0
-	c.link.transmit(toClient, payload, func() {
-		if lost {
-			return
-		}
-		c.clientDeliver(pkt)
-	})
+	c.net.xmit(c.link, toClient, pkt, c.clientDeliver)
 }
 
 // ClientPool drives nClients closed-loop HTTP clients against the
@@ -190,6 +238,7 @@ func (p *ClientPool) startRequest() {
 		clientPort: port,
 		expect:     responseHeader + p.docSize,
 		started:    p.net.Eng.Now(),
+		deadline:   p.stopAt,
 		reqDocLen:  p.docSize,
 	}
 	c.onDone = func(lat sim.Time) {
@@ -201,8 +250,8 @@ func (p *ClientPool) startRequest() {
 		}
 		p.startRequest()
 	}
-	syn := &Packet{SrcPort: port, DstPort: ServerPort, Flags: FlagSYN, Conn: c}
-	link.transmit(toServer, 0, func() { p.net.serverRx(syn) })
+	c.sendSyn()
+	c.armTimer()
 }
 
 // MeanLatency reports the average request latency.

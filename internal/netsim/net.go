@@ -19,6 +19,7 @@ import (
 	"encoding/binary"
 
 	"xok/internal/dpf"
+	"xok/internal/fault"
 	"xok/internal/kernel"
 	"xok/internal/sim"
 )
@@ -89,22 +90,60 @@ type Net struct {
 	Links []*Link
 	DPF   *dpf.Engine
 
-	// LossRate drops roughly one in LossRate server->client data
-	// segments (0 = lossless, the default). Deterministic: driven by
-	// lossRNG.
+	// LossRate drops roughly one in LossRate TCP segments, in BOTH
+	// directions — SYNs, requests and ACKs as well as response data (0
+	// = lossless, the default). Deterministic: driven by lossRNG. The
+	// machine's fault plan (kernel.Config.Faults) adds independent
+	// loss, duplication and reordering channels on top.
 	LossRate int
 	lossRNG  *sim.RNG
+
+	plan *fault.Plan // the machine's fault plan (nil = none)
 
 	stack *Stack
 }
 
 // New wires sim.NumLinks Ethernets to the kernel's machine.
 func New(k *kernel.Kernel) *Net {
-	n := &Net{K: k, Eng: k.Eng, DPF: dpf.NewEngine(), lossRNG: sim.NewRNG(0xfade)}
+	n := &Net{K: k, Eng: k.Eng, DPF: dpf.NewEngine(),
+		lossRNG: sim.NewRNG(0xfade), plan: k.Faults}
 	for i := 0; i < sim.NumLinks; i++ {
 		n.Links = append(n.Links, &Link{eng: k.Eng})
 	}
 	return n
+}
+
+// xmit puts one segment on the wire in the given direction, applying
+// the fault decisions: loss (LossRate or the fault plan), duplication
+// and reordering (fault plan only). A lost segment still consumes its
+// wire time — the frame went out, it just never arrives. A duplicated
+// segment is sent twice back to back; a reordered one has its delivery
+// delayed a few frame times so that successors overtake it.
+func (n *Net) xmit(link *Link, dir int, pkt *Packet, deliver func(*Packet)) {
+	copies := 1
+	if n.plan.DupSegment() {
+		copies = 2
+	}
+	for i := 0; i < copies; i++ {
+		lost := n.LossRate > 0 && n.lossRNG.Intn(n.LossRate) == 0
+		if n.plan.DropSegment() {
+			lost = true
+		}
+		var delay sim.Time
+		if n.plan.ReorderSegment() {
+			delay = 2 * sim.WireTime(sim.EthernetMTU+ipTCPHeader)
+		}
+		link.transmit(dir, pkt.Payload, func() {
+			if lost {
+				return
+			}
+			if delay > 0 {
+				n.Eng.After(delay, func() { deliver(pkt) })
+				return
+			}
+			deliver(pkt)
+		})
+	}
 }
 
 // serverRx is the NIC receive path: interrupt, packet filter, enqueue

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"xok/internal/cap"
+	"xok/internal/fault"
 	"xok/internal/kernel"
 	"xok/internal/sim"
 	"xok/internal/trace"
@@ -187,6 +188,65 @@ func TestLossReducesThroughput(t *testing.T) {
 	lossy := measure(16) // ~6% loss
 	if lossy >= clean {
 		t.Fatalf("loss did not hurt throughput: %d vs %d", lossy, clean)
+	}
+}
+
+func TestBidirectionalLossRecovered(t *testing.T) {
+	// The fault plan drops, duplicates and reorders segments in BOTH
+	// directions: lost SYNs, requests and client ACKs are recovered by
+	// the client's retransmission timer, lost response data by the
+	// server's go-back-N — and every completed request still delivers
+	// exactly its bytes. Same seed, same outcome.
+	run := func() (*ClientPool, *kernel.Kernel) {
+		plan := &fault.Plan{Seed: 7, LossRate: 24, DupRate: 37, ReorderRate: 41}
+		k := kernel.New(kernel.Config{Name: "net", MemPages: 512, Faults: plan})
+		n := New(k)
+		stop := k.Now() + 400*sim.Millisecond
+		pool := n.NewClientPool(6, 20000, stop)
+		k.Spawn("server", func(e *kernel.Env) {
+			n.Serve(e, testServerConfig(), func(*kernel.Env, *Conn) int { return 20000 }, stop)
+		})
+		k.RunUntil(stop)
+		k.Shutdown()
+		return pool, k
+	}
+	pool, k := run()
+	if pool.Completed == 0 {
+		t.Fatal("no requests completed under bidirectional faults")
+	}
+	if pool.Bytes != int64(pool.Completed)*20000 {
+		t.Fatalf("byte accounting broken: %d bytes for %d requests", pool.Bytes, pool.Completed)
+	}
+	if k.Stats.Get(sim.CtrRetransmits) == 0 {
+		t.Fatal("no server retransmissions under loss?")
+	}
+	pool2, _ := run()
+	if pool2.Completed != pool.Completed || pool2.Bytes != pool.Bytes {
+		t.Fatalf("same seed diverged: %d/%d requests, %d/%d bytes",
+			pool.Completed, pool2.Completed, pool.Bytes, pool2.Bytes)
+	}
+}
+
+func TestClientSideLossRecovered(t *testing.T) {
+	// Legacy LossRate now applies to client->server segments too: under
+	// harsh symmetric loss (one in six frames) the handshake itself
+	// fails constantly, and only the client retransmission timer keeps
+	// connections alive.
+	k := kernel.New(kernel.Config{Name: "net", MemPages: 512})
+	n := New(k)
+	n.LossRate = 6
+	stop := k.Now() + 400*sim.Millisecond
+	pool := n.NewClientPool(4, 5000, stop)
+	k.Spawn("server", func(e *kernel.Env) {
+		n.Serve(e, testServerConfig(), func(*kernel.Env, *Conn) int { return 5000 }, stop)
+	})
+	k.RunUntil(stop)
+	k.Shutdown()
+	if pool.Completed == 0 {
+		t.Fatal("no requests completed under symmetric loss")
+	}
+	if pool.Bytes != int64(pool.Completed)*5000 {
+		t.Fatalf("byte accounting broken: %d bytes for %d requests", pool.Bytes, pool.Completed)
 	}
 }
 

@@ -116,6 +116,14 @@ func (s *Stack) loop() {
 // acceptConn performs the server side of the handshake: PCB setup and
 // a connection-specific packet filter, then SYN-ACK.
 func (s *Stack) acceptConn(c *Conn) {
+	if c.srvAccepted {
+		// Duplicate SYN (retransmitted or duplicated in flight; the
+		// first SYN-ACK may have been lost): re-send the SYN-ACK
+		// without setting up a second PCB or filter.
+		c.sendToClient(FlagSYN|FlagACK, 0, 0)
+		return
+	}
+	c.srvAccepted = true
 	s.env.Use(s.cfg.PerConn)
 	f := &dpf.Filter{Cmps: []dpf.Cmp{
 		dpf.Eq16(0, ServerPort),
@@ -131,6 +139,11 @@ func (s *Stack) acceptConn(c *Conn) {
 
 // serveRequest runs the handler and streams the response.
 func (s *Stack) serveRequest(c *Conn) {
+	if c.srvTotal > 0 || c.srvDone {
+		// Duplicate request (a client retransmit crossed our response):
+		// the handler already ran; the RTO covers delivery.
+		return
+	}
 	c.tsReq = s.net.Eng.Now()
 	// Receive-side processing of the request segment.
 	s.env.Use(s.cfg.PerPacket)

@@ -83,7 +83,7 @@ type Tracer struct {
 	events  []event
 	dropped int64
 
-	procs     []string          // index = pid
+	procs     []string // index = pid
 	laneNames map[laneKey]string
 
 	hists     map[string]*Histogram

@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"xok/internal/apps"
+	"xok/internal/cffs"
+	"xok/internal/fault"
+	"xok/internal/machine"
+	"xok/internal/sim"
+	"xok/internal/unix"
+)
+
+// Crash-point enumeration (Section 4.4): the paper's recovery story is
+// that XN's on-disk structures are consistent enough after ANY crash
+// that a reachability scan rebuilds the free map and C-FFS needs no
+// ordered cleanup. The harness tests that claim systematically instead
+// of at one arbitrary instant: a probe run of the MAB file workload
+// records every synchronous-write completion, then the workload is
+// re-run once per sampled boundary, power is cut one cycle BEFORE the
+// write completes (so the fault plan can tear the in-flight transfer),
+// and the surviving image must remount, pass fsck, and satisfy XN's
+// ownership invariants. Because every fault decision comes from the
+// plan's seeded streams, two sweeps with the same plan produce
+// bit-identical outcome digests.
+
+// CrashConfig parameterizes a crash-enumeration sweep.
+type CrashConfig struct {
+	// Plan is the fault plan template applied to every run (cloned per
+	// machine so consumed stream state never leaks between runs). Nil
+	// defaults to seed 1 with torn writes armed.
+	Plan *fault.Plan
+
+	// MaxPoints caps the number of crash points (0 = 48). Boundaries
+	// beyond the cap are stride-sampled evenly across the workload.
+	MaxPoints int
+
+	// DiskBlocks sizes the volume (0 = 32768 blocks = 128 MB — small
+	// keeps the per-point remounts fast).
+	DiskBlocks int64
+}
+
+// CrashPoint is one enumerated crash trial.
+type CrashPoint struct {
+	At         sim.Time // instant power was cut
+	Violations []string // recovery audit findings (empty = clean)
+}
+
+// CrashResult summarizes a sweep.
+type CrashResult struct {
+	System     string
+	Boundaries int          // write-completion boundaries observed
+	Points     []CrashPoint // one per sampled crash instant
+	Digest     uint64       // FNV-1a over every per-point outcome
+}
+
+// Violations counts crash points that failed the recovery audit.
+func (r CrashResult) Violations() int {
+	n := 0
+	for _, pt := range r.Points {
+		if len(pt.Violations) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// crashWorkload is the MAB file activity as a single process, so the
+// harness can cut power at any instant of it: stage the source tree,
+// then run the five phases back to back.
+func crashWorkload(p unix.Proc) error {
+	spec := mabTree()
+	if err := apps.WriteTree(p, "/mabsrc", spec); err != nil {
+		return err
+	}
+	if err := p.Sync(); err != nil {
+		return err
+	}
+	for _, phase := range mabPhaseFuncs(spec) {
+		if err := phase(p); err != nil {
+			return err
+		}
+	}
+	return p.Sync()
+}
+
+// CrashEnumerate runs the sweep on a Xok/ExOS machine.
+func CrashEnumerate(cfg CrashConfig) (CrashResult, error) {
+	plan := cfg.Plan
+	if plan == nil {
+		plan = &fault.Plan{Seed: 1, TornWrites: true}
+	}
+	if cfg.MaxPoints == 0 {
+		cfg.MaxPoints = 48
+	}
+	if cfg.DiskBlocks == 0 {
+		cfg.DiskBlocks = 32768
+	}
+	boot := func() (Machine, *fault.Plan) {
+		p := plan.Clone()
+		m := machine.MustNew(machine.Config{
+			Personality: machine.XokExOS,
+			DiskBlocks:  cfg.DiskBlocks,
+			MemPages:    4096,
+			Faults:      p,
+		})
+		// Aggressive flush-behind: the workload emits many small
+		// synchronous writes instead of a few giant batches, giving the
+		// sweep dense crash-point coverage.
+		m.(machine.Xok).S.X.FlushBehind = 16
+		return m, p
+	}
+
+	// Probe run: record every write-completion boundary while the
+	// workload runs to completion.
+	probe, pp := boot()
+	var boundaries []sim.Time
+	pp.ObserveWrites(func(at sim.Time, block int64, count int) {
+		if n := len(boundaries); n == 0 || boundaries[n-1] != at {
+			boundaries = append(boundaries, at)
+		}
+	})
+	var werr error
+	probe.SpawnProc("crash-mab", 0, func(p unix.Proc) { werr = crashWorkload(p) })
+	probe.Run()
+	if werr != nil {
+		return CrashResult{}, fmt.Errorf("crash workload: %w", werr)
+	}
+	if len(boundaries) == 0 {
+		return CrashResult{}, errors.New("crash workload produced no write boundaries")
+	}
+	res := CrashResult{System: probe.Name(), Boundaries: len(boundaries)}
+
+	pts := boundaries
+	if len(pts) > cfg.MaxPoints {
+		stride := float64(len(pts)) / float64(cfg.MaxPoints)
+		sampled := make([]sim.Time, 0, cfg.MaxPoints)
+		for i := 0; i < cfg.MaxPoints; i++ {
+			sampled = append(sampled, pts[int(float64(i)*stride)])
+		}
+		pts = sampled
+	}
+
+	for _, b := range pts {
+		// One cycle before the completion event: the write is still
+		// in flight, so a torn-writes plan tears it in the image.
+		at := b - 1
+		m, _ := boot()
+		m.SpawnProc("crash-mab", 0, func(p unix.Proc) { _ = crashWorkload(p) })
+		img := m.Crash(at)
+		viols := cffs.AuditImage(img, cfg.DiskBlocks, "cffs", cffs.DefaultConfig())
+		res.Points = append(res.Points, CrashPoint{At: at, Violations: viols})
+	}
+
+	// Outcome digest (FNV-1a): equal plans must yield equal digests.
+	h := uint64(14695981039346656037)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * 1099511628211
+		}
+	}
+	for _, pt := range res.Points {
+		mix(fmt.Sprintf("%d:", pt.At))
+		for _, v := range pt.Violations {
+			mix(v)
+			mix(";")
+		}
+		mix("\n")
+	}
+	res.Digest = h
+	return res, nil
+}

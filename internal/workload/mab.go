@@ -63,7 +63,23 @@ func MAB(m Machine) (MABResult, error) {
 	}
 
 	start := m.Now()
-	phases := []func(p unix.Proc) error{
+	phases := mabPhaseFuncs(spec)
+	for i, phase := range phases {
+		elapsed := exec(m, "mab-"+MABPhases[i], phase, &err)
+		if err != nil {
+			return res, err
+		}
+		res.Phases = append(res.Phases, StepResult{Name: MABPhases[i], Elapsed: elapsed})
+	}
+	res.Total = m.Now() - start
+	return res, nil
+}
+
+// mabPhaseFuncs builds the five phase bodies over spec, in MABPhases
+// order. MAB runs each in its own process; the crash-enumeration
+// harness runs them back to back inside one.
+func mabPhaseFuncs(spec apps.TreeSpec) []func(p unix.Proc) error {
+	return []func(p unix.Proc) error{
 		// Phase 1: mkdir the target hierarchy.
 		func(p unix.Proc) error {
 			if e := p.Mkdir("/mab", 7); e != nil {
@@ -140,13 +156,4 @@ func MAB(m Machine) (MABResult, error) {
 			return nil
 		},
 	}
-	for i, phase := range phases {
-		elapsed := exec(m, "mab-"+MABPhases[i], phase, &err)
-		if err != nil {
-			return res, err
-		}
-		res.Phases = append(res.Phases, StepResult{Name: MABPhases[i], Elapsed: elapsed})
-	}
-	res.Total = m.Now() - start
-	return res, nil
 }

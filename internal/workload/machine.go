@@ -1,102 +1,58 @@
 // Package workload reproduces the paper's macrobenchmarks: the
 // I/O-intensive lcc-install workload (Table 1 / Figure 2), the
 // Modified Andrew Benchmark (Section 6.2), the cost-of-protection
-// experiment (Section 6.3), and the global-performance job mixes
-// (Figures 4 and 5). Each takes a Machine — one of the four systems
-// under test — and returns measured virtual times.
+// experiment (Section 6.3), the global-performance job mixes
+// (Figures 4 and 5), and the crash-point enumeration harness. Each
+// takes a Machine — one of the systems under test, built through
+// internal/machine — and returns measured virtual times.
 package workload
 
 import (
 	"fmt"
 
 	"xok/internal/bsdos"
-	"xok/internal/exos"
-	"xok/internal/kernel"
+	"xok/internal/machine"
 	"xok/internal/sim"
 	"xok/internal/unix"
 )
 
 // EnvHandle identifies a spawned process.
-type EnvHandle interface {
-	Env() *kernel.Env
-}
+type EnvHandle = machine.EnvHandle
 
-// Machine abstracts over the OS personalities.
-type Machine interface {
-	// Name labels the system as the paper does ("Xok/ExOS", ...).
-	Name() string
-	// SpawnProc starts a UNIX process.
-	SpawnProc(name string, uid uint16, main func(unix.Proc)) EnvHandle
-	// Run drains the machine.
-	Run()
-	// Now returns virtual time.
-	Now() sim.Time
-	// Stats returns the counter registry.
-	Stats() *sim.Stats
-	// Kern returns the kernel.
-	Kern() *kernel.Kernel
-}
+// Machine abstracts over the OS personalities; internal/machine is the
+// construction path.
+type Machine = machine.Machine
 
-// Xok wraps an ExOS system as a Machine.
-type Xok struct{ S *exos.System }
-
-// Name implements Machine.
-func (m Xok) Name() string { return "Xok/ExOS" }
-
-// SpawnProc implements Machine.
-func (m Xok) SpawnProc(name string, uid uint16, main func(unix.Proc)) EnvHandle {
-	return m.S.Spawn(name, uid, main)
-}
-
-// Run implements Machine.
-func (m Xok) Run() { m.S.Run() }
-
-// Now implements Machine.
-func (m Xok) Now() sim.Time { return m.S.Now() }
-
-// Stats implements Machine.
-func (m Xok) Stats() *sim.Stats { return m.S.Stats() }
-
-// Kern implements Machine.
-func (m Xok) Kern() *kernel.Kernel { return m.S.K }
-
-// BSD wraps a BSD system as a Machine.
-type BSD struct{ S *bsdos.System }
-
-// Name implements Machine.
-func (m BSD) Name() string { return m.S.Variant.String() }
-
-// SpawnProc implements Machine.
-func (m BSD) SpawnProc(name string, uid uint16, main func(unix.Proc)) EnvHandle {
-	return m.S.Spawn(name, uid, main)
-}
-
-// Run implements Machine.
-func (m BSD) Run() { m.S.Run() }
-
-// Now implements Machine.
-func (m BSD) Now() sim.Time { return m.S.Now() }
-
-// Stats implements Machine.
-func (m BSD) Stats() *sim.Stats { return m.S.Stats() }
-
-// Kern implements Machine.
-func (m BSD) Kern() *kernel.Kernel { return m.S.K }
+// Xok and BSD are the concrete machine wrappers, re-exported for
+// experiments that reach the underlying systems.
+type (
+	Xok = machine.Xok
+	BSD = machine.BSD
+)
 
 // NewXok boots a stock Xok/ExOS machine (protection on, as in all
 // Section 6 measurements).
-func NewXok() Machine { return Xok{S: exos.Boot(exos.Config{Protect: true})} }
+func NewXok() Machine {
+	return machine.MustNew(machine.Config{Personality: machine.XokExOS})
+}
 
 // NewXokUnprotected boots Xok/ExOS with XN charging and shared-state
 // protection calls removed (the Section 6.3 comparison point).
 func NewXokUnprotected() Machine {
-	s := exos.Boot(exos.Config{Protect: false})
-	s.X.FreeCost = true
-	return Xok{S: s}
+	return machine.MustNew(machine.Config{Personality: machine.XokUnprotected})
 }
 
 // NewBSD boots a BSD machine.
-func NewBSD(v bsdos.Variant) Machine { return BSD{S: bsdos.Boot(v, bsdos.Config{})} }
+func NewBSD(v bsdos.Variant) Machine {
+	p := machine.FreeBSD
+	switch v {
+	case bsdos.OpenBSD:
+		p = machine.OpenBSD
+	case bsdos.OpenBSDCFFS:
+		p = machine.OpenBSDCFFS
+	}
+	return machine.MustNew(machine.Config{Personality: p})
+}
 
 // AllSystems boots the four systems of Figure 2, in the paper's
 // presentation order.

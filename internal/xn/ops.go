@@ -7,6 +7,7 @@ import (
 
 	"xok/internal/cap"
 	"xok/internal/disk"
+	"xok/internal/fault"
 	"xok/internal/kernel"
 	"xok/internal/mem"
 	"xok/internal/sim"
@@ -135,12 +136,19 @@ func (x *XN) Read(e *kernel.Env, blocks []disk.BlockNo, pages []mem.PageNo) erro
 			Block: run[0].block,
 			Count: len(run),
 			Pages: pagesData,
-			Done: func(*disk.Request) {
+			Done: func(req *disk.Request) {
 				x.K.ChargeInterrupt(sim.DiskInterruptCost)
 				for _, op := range run {
-					op.entry.setState(StateResident)
-					op.entry.Uninit = false
-					x.touch(op.entry)
+					if req.Err != nil {
+						// Media error: no data arrived. The entry
+						// falls back out of core so a later read can
+						// retry; waiters wake and see the failure.
+						op.entry.setState(StateOutOfCore)
+					} else {
+						op.entry.setState(StateResident)
+						op.entry.Uninit = false
+						x.touch(op.entry)
+					}
 					for _, w := range op.entry.waiters {
 						x.K.Wake(w)
 					}
@@ -163,7 +171,26 @@ func (x *XN) Read(e *kernel.Env, blocks []disk.BlockNo, pages []mem.PageNo) erro
 	}
 	x.chargeIO(e, nreq)
 	if e != nil {
-		for !x.allResident(blocks) {
+		for {
+			pending := false
+			for _, b := range blocks {
+				en, ok := x.reg[b]
+				if !ok {
+					return ErrNotInRegistry
+				}
+				switch en.State {
+				case StateResident:
+				case StateInTransit:
+					pending = true
+				default:
+					// We (or the read we piggybacked on) hit a media
+					// error and the entry fell back out of core.
+					return fault.ErrMedia
+				}
+			}
+			if !pending {
+				return nil
+			}
 			e.Block()
 		}
 	}
