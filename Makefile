@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race crash check bench
+.PHONY: all build fmt vet test race crash fuzz-smoke check bench
 
 all: check
 
@@ -26,11 +26,19 @@ race:
 crash:
 	$(GO) test -race -count=1 -run TestCrashEnum ./internal/workload/
 
+# A fixed-seed differential fuzzing campaign: 100 syscall programs,
+# every personality compared against every other (internal/difftest).
+# Deterministic by construction, so a failure here is a real semantic
+# divergence, never flake.
+fuzz-smoke:
+	$(GO) run ./cmd/xok-bench -run difftest -seeds 100
+
 # The full pre-commit gate: everything compiles, the tree is gofmt
 # clean, vet is clean, the whole suite passes under the race detector
 # (the token-handoff protocol in internal/sim is exactly the kind of
-# code -race exists for), and the crash-enumeration sweep re-runs.
-check: build fmt vet race crash
+# code -race exists for), the crash-enumeration sweep re-runs, and the
+# differential fuzz smoke campaign comes back clean.
+check: build fmt vet race crash fuzz-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

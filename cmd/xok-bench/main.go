@@ -24,6 +24,19 @@
 //	                                         # ui.perfetto.dev)
 //	xok-bench -run figure3 -hist             # p50/p90/p99 latency
 //	                                         # histograms per machine
+//
+// Differential syscall fuzzing (internal/difftest):
+//
+//	xok-bench -run difftest -seeds 500          # 500 random programs on
+//	                                            # every personality,
+//	                                            # cross-compared
+//	xok-bench -run difftest -seeds 100 \
+//	          -faults 42:kill=60,killenv=fuzz   # determinism mode: each
+//	                                            # program twice per
+//	                                            # personality under the
+//	                                            # cloned plan
+//	xok-bench -run difftest -replay 452:40:all  # re-run one replay token
+//	                                            # bit-identically
 package main
 
 import (
@@ -36,6 +49,7 @@ import (
 	"xok/internal/apps"
 	"xok/internal/cap"
 	"xok/internal/core"
+	"xok/internal/difftest"
 	"xok/internal/exos"
 	"xok/internal/fault"
 	"xok/internal/kernel"
@@ -48,11 +62,15 @@ import (
 )
 
 var (
-	runFlag    = flag.String("run", "all", "experiment to run (all, figure2, mab, protection, table2, figure3, figure4, figure5, emulator, xcp, crash)")
+	runFlag    = flag.String("run", "all", "experiment to run (all, figure2, mab, protection, table2, figure3, figure4, figure5, emulator, xcp, crash, difftest)")
 	fullFlag   = flag.Bool("full", false, "run Figures 4/5 at full size (35 jobs); slower")
 	traceFlag  = flag.String("trace", "", "write a Chrome trace_event JSON timeline of every simulated machine to this file")
 	histFlag   = flag.Bool("hist", false, "print per-machine latency histograms (p50/p90/p99) after the experiments")
-	faultsFlag = flag.String("faults", "", "fault plan as seed[:spec], e.g. 42:torn,loss=50 (see internal/fault); used by -run crash")
+	faultsFlag = flag.String("faults", "", "fault plan as seed[:spec], e.g. 42:torn,loss=50 (see internal/fault); used by -run crash and -run difftest")
+	seedsFlag  = flag.Int("seeds", 200, "difftest: number of generated programs")
+	stepsFlag  = flag.Int("steps", 60, "difftest: syscalls per generated program")
+	baseFlag   = flag.Uint64("base", 1, "difftest: first seed (seed i = base+i)")
+	replayFlag = flag.String("replay", "", "difftest: replay one seed:steps:keep token instead of fuzzing")
 )
 
 func main() {
@@ -76,8 +94,9 @@ func main() {
 		"emulator":   emulator,
 		"xcp":        xcp,
 		"crash":      crash,
+		"difftest":   diffFuzz,
 	}
-	order := []string{"figure2", "mab", "protection", "table2", "emulator", "xcp", "crash", "figure3", "figure4", "figure5"}
+	order := []string{"figure2", "mab", "protection", "table2", "emulator", "xcp", "crash", "difftest", "figure3", "figure4", "figure5"}
 	if *runFlag == "all" {
 		for _, name := range order {
 			experiments[name]()
@@ -288,6 +307,57 @@ func emulateGetpid(p unix.Proc) func() int {
 		p.Compute(12) // INT reroute trampoline
 		return p.Getpid()
 	}
+}
+
+func diffFuzz() {
+	header("Differential syscall fuzzing (internal/difftest)")
+	opt := difftest.Options{
+		Seeds:    *seedsFlag,
+		Steps:    *stepsFlag,
+		BaseSeed: *baseFlag,
+		Log:      os.Stdout,
+	}
+	if *faultsFlag != "" {
+		plan, err := fault.Parse(*faultsFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt.Faults = plan
+		fmt.Printf("mode: determinism (each program twice per personality, plan %s)\n", plan)
+	} else {
+		fmt.Println("mode: differential (every personality vs every other)")
+	}
+
+	if *replayFlag != "" {
+		prog, err := difftest.Program(*replayFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("replaying %s:\n%s", *replayFlag, prog)
+		div, err := difftest.Replay(*replayFlag, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if div != nil {
+			fmt.Printf("\nSTILL DIVERGES\n%v\n", div)
+			os.Exit(1)
+		}
+		fmt.Println("\nclean: all personalities agree on this program")
+		return
+	}
+
+	fmt.Printf("programs: %d x %d syscalls (seeds %d..%d)\n",
+		opt.Seeds, opt.Steps, opt.BaseSeed, opt.BaseSeed+uint64(opt.Seeds)-1)
+	div, err := difftest.Fuzz(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if div != nil {
+		prog, _ := difftest.Program(div.Token)
+		fmt.Printf("\nDIVERGENCE (shrunk to %d calls)\n%v\nprogram:\n%s", len(div.Keep), div, prog)
+		os.Exit(1)
+	}
+	fmt.Printf("\nclean: zero divergences across %d programs\n", opt.Seeds)
 }
 
 func crash() {

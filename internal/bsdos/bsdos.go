@@ -23,7 +23,6 @@
 package bsdos
 
 import (
-	"errors"
 	"fmt"
 
 	"xok/internal/cap"
@@ -89,6 +88,11 @@ type System struct {
 	FS      *cffs.FS
 	Variant Variant
 
+	// FSCfg is the structural profile the file system was formatted
+	// with (FFS or C-FFS), kept for forensic remounts (cffs.AuditImage
+	// needs the same profile to re-attach the image).
+	FSCfg cffs.Config
+
 	nextPid int
 }
 
@@ -120,7 +124,7 @@ func Boot(v Variant, cfg Config) *System {
 	if v == OpenBSDCFFS {
 		fsCfg = cffs.DefaultConfig()
 	}
-	s := &System{K: k, X: x, Variant: v, nextPid: 1}
+	s := &System{K: k, X: x, Variant: v, FSCfg: fsCfg, nextPid: 1}
 	k.Spawn("bsd-mkfs", func(e *kernel.Env) {
 		e.Creds = cap.UnixCreds(0)
 		fs, err := cffs.Mkfs(e, x, "ffs", fsCfg)
@@ -189,8 +193,9 @@ type file struct {
 	pipe *bsdPipe
 }
 
-// ErrBadFD reports an unknown descriptor.
-var ErrBadFD = errors.New("bsdos: bad file descriptor")
+// ErrBadFD reports an unknown descriptor — the canonical unix value,
+// identical to what ExOS returns for the same misuse.
+var ErrBadFD = unix.ErrBadFD
 
 var _ unix.Proc = (*Proc)(nil)
 
@@ -266,7 +271,7 @@ func (p *Proc) Read(fd unix.FD, buf []byte) (int, error) {
 	case kindPipeR:
 		return f.pipe.read(p.e, buf)
 	case kindPipeW:
-		return 0, fmt.Errorf("bsdos: read from write end")
+		return 0, unix.ErrBadFD // read from write end
 	}
 	n, err := p.s.FS.ReadAt(p.e, f.ref, f.off, buf)
 	f.off += int64(n)
@@ -284,7 +289,7 @@ func (p *Proc) Write(fd unix.FD, buf []byte) (int, error) {
 	case kindPipeW:
 		return f.pipe.write(p.e, buf)
 	case kindPipeR:
-		return 0, fmt.Errorf("bsdos: write to read end")
+		return 0, unix.ErrBadFD // write to read end
 	}
 	n, err := p.s.FS.WriteAt(p.e, f.ref, f.off, buf)
 	f.off += int64(n)
@@ -298,23 +303,31 @@ func (p *Proc) Seek(fd unix.FD, off int64, whence int) (int64, error) {
 		return 0, err
 	}
 	if f.kind != kindFile {
-		return 0, fmt.Errorf("bsdos: seek on pipe")
+		return 0, unix.ErrSeekPipe
 	}
 	p.e.Syscall(80)
+	pos := f.off
 	switch whence {
 	case unix.SeekSet:
-		f.off = off
+		pos = off
 	case unix.SeekCur:
-		f.off += off
+		pos += off
 	case unix.SeekEnd:
-		in, err := p.s.FS.Stat(p.e, f.path)
+		// Follow the descriptor's inode, not its path (see exos.Seek).
+		in, err := p.s.FS.RefInode(p.e, f.ref)
 		if err != nil {
 			return 0, err
 		}
-		f.off = int64(in.Size) + off
+		pos = int64(in.Size) + off
 	default:
-		return 0, fmt.Errorf("bsdos: bad whence %d", whence)
+		return 0, unix.ErrInval
 	}
+	if pos < 0 {
+		// A negative offset must not become the descriptor position:
+		// a later read would slice a page at a negative index.
+		return 0, unix.ErrInval
+	}
+	f.off = pos
 	return f.off, nil
 }
 
@@ -360,7 +373,8 @@ func (p *Proc) Readdir(path string) ([]unix.DirEnt, error) {
 	}
 	out := make([]unix.DirEnt, len(ents))
 	for i, in := range ents {
-		out[i] = unix.DirEnt{Name: in.Name, IsDir: in.Kind == cffs.KindDir, Size: int64(in.Size)}
+		out[i] = unix.DirEnt{Name: in.Name, IsDir: in.Kind == cffs.KindDir,
+			IsLink: in.Kind == cffs.KindLink, Size: int64(in.Size)}
 	}
 	return out, nil
 }
@@ -381,6 +395,18 @@ func (p *Proc) Rmdir(path string) error {
 func (p *Proc) Rename(oldPath, newPath string) error {
 	p.e.Syscall(600)
 	return p.s.FS.Rename(p.e, oldPath, newPath)
+}
+
+// Chmod traps.
+func (p *Proc) Chmod(path string, mode uint32) error {
+	p.e.Syscall(500)
+	return p.s.FS.Chmod(p.e, path, mode)
+}
+
+// Symlink traps.
+func (p *Proc) Symlink(target, path string) error {
+	p.e.Syscall(600)
+	return p.s.FS.Symlink(p.e, target, path, uint32(p.uid), uint32(p.uid))
 }
 
 // Sync traps.

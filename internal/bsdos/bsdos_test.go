@@ -19,7 +19,7 @@ func runner(v Variant) (ostest.RunFunc, *System) {
 func TestFileOpsConformanceAllVariants(t *testing.T) {
 	for _, v := range []Variant{FreeBSD, OpenBSD, OpenBSDCFFS} {
 		run, _ := runner(v)
-		if err := ostest.CheckFileOps(run); err != nil {
+		if err := ostest.CheckFileOps(v.String(), run); err != nil {
 			t.Errorf("%v: %v", v, err)
 		}
 	}

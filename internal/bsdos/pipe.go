@@ -1,10 +1,9 @@
 package bsdos
 
 import (
-	"errors"
-
 	"xok/internal/kernel"
 	"xok/internal/sim"
+	"xok/internal/unix"
 )
 
 // bsdPipe is the in-kernel 4.4BSD pipe: every transfer is a system
@@ -18,8 +17,9 @@ const pipeCapacity = 16384
 // blocking handoff, beyond the generic context switch.
 const costPipeWakeup = 8 * sim.Microsecond
 
-// ErrPipeClosed reports a write with no reader.
-var ErrPipeClosed = errors.New("bsdos: broken pipe")
+// ErrPipeClosed reports a write with no reader (the canonical
+// unix.ErrPipe, shared across personalities).
+var ErrPipeClosed = unix.ErrPipe
 
 type bsdPipe struct {
 	s *System

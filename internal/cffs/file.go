@@ -16,6 +16,24 @@ import (
 // policy. Lower-level consumers (XCP, Cheetah's XIO) use FileExtents
 // and the XN registry directly to avoid the copies entirely.
 
+// RefInode re-reads the inode a descriptor-held Ref points at,
+// verifying the reference still names the same incarnation of the
+// file. After unlink the slot may be unused, recycled for another file
+// (generation mismatch), or its whole directory block freed and
+// reallocated as something else (ensureDir fails); all three collapse
+// to ErrStale so I/O through a dead descriptor fails deterministically
+// instead of reading — or corrupting — whatever reused the blocks.
+func (fs *FS) RefInode(e *kernel.Env, ref Ref) (Inode, error) {
+	if err := fs.ensureDir(e, ref.Dir, xn.NoParent); err != nil {
+		return Inode{}, ErrStale
+	}
+	in := DecodeSlot(fs.dirData(ref.Dir), ref.Slot)
+	if !in.Used || in.Gen != ref.Gen {
+		return Inode{}, ErrStale
+	}
+	return in, nil
+}
+
 // decodeIndirect parses an indirect block's extent table.
 func decodeIndirect(data []byte) []Extent {
 	n := int(binary.LittleEndian.Uint32(data[0:]))
@@ -109,12 +127,12 @@ func (fs *FS) ownerOf(in Inode, ref Ref, idx uint32) disk.BlockNo {
 // ReadAt reads up to len(buf) bytes at offset off, returning the count.
 func (fs *FS) ReadAt(e *kernel.Env, ref Ref, off int64, buf []byte) (int, error) {
 	e.LibCall(100)
-	if err := fs.ensureDir(e, ref.Dir, xn.NoParent); err != nil {
-		return 0, err
+	if off < 0 {
+		return 0, ErrInvalOp
 	}
-	in := DecodeSlot(fs.dirData(ref.Dir), ref.Slot)
-	if !in.Used {
-		return 0, ErrNotFound
+	in, err := fs.RefInode(e, ref)
+	if err != nil {
+		return 0, err
 	}
 	size := int64(in.Size)
 	if off >= size {
@@ -340,15 +358,15 @@ func (fs *FS) Preallocate(e *kernel.Env, ref Ref, size int64) error {
 // data are changed" — C-FFS implicit updates, Section 4.5).
 func (fs *FS) WriteAt(e *kernel.Env, ref Ref, off int64, data []byte) (int, error) {
 	e.LibCall(100)
+	if off < 0 {
+		return 0, ErrInvalOp
+	}
 	if len(data) == 0 {
 		return 0, nil
 	}
-	if err := fs.ensureDir(e, ref.Dir, xn.NoParent); err != nil {
+	in, err := fs.RefInode(e, ref)
+	if err != nil {
 		return 0, err
-	}
-	in := DecodeSlot(fs.dirData(ref.Dir), ref.Slot)
-	if !in.Used {
-		return 0, ErrNotFound
 	}
 	if in.Kind != KindFile {
 		return 0, ErrIsDir
@@ -372,6 +390,27 @@ func (fs *FS) WriteAt(e *kernel.Env, ref Ref, off int64, data []byte) (int, erro
 		exts, err = fs.FileExtents(e, ref)
 		if err != nil {
 			return 0, err
+		}
+		// Blocks this grow allocated that the copy loop below will not
+		// touch are file holes. Their on-disk content is garbage:
+		// attach zero pages and mark them dirty so reads see the UNIX
+		// zeros contract and the next sync initializes them on disk —
+		// untainting the metadata that points at them (XN refuses to
+		// persist pointers to uninitialized blocks).
+		for idx := have; idx < uint32(off/sim.DiskBlockSize); idx++ {
+			b, ok := blockAt(exts, idx)
+			if !ok {
+				return 0, fmt.Errorf("cffs: missing block %d after grow", idx)
+			}
+			if en, inReg := fs.X.Lookup(b); inReg && en.State == xn.StateResident {
+				continue
+			}
+			if _, err := fs.X.AttachPage(e, b); err != nil {
+				return 0, err
+			}
+			if err := fs.X.MarkDirty(e, b); err != nil {
+				return 0, err
+			}
 		}
 	}
 
@@ -448,7 +487,7 @@ func (fs *FS) WriteAt(e *kernel.Env, ref Ref, off int64, data []byte) (int, erro
 // first, then the indirect block, then the direct extents, then the
 // slot).
 func (fs *FS) Unlink(e *kernel.Env, path string) error {
-	ref, in, err := fs.Lookup(e, path)
+	ref, in, err := fs.LookupNoFollow(e, path) // unlink removes the link itself
 	if err != nil {
 		return err
 	}
@@ -504,7 +543,7 @@ func (fs *FS) Unlink(e *kernel.Env, path string) error {
 
 // Rmdir removes an empty directory.
 func (fs *FS) Rmdir(e *kernel.Env, path string) error {
-	ref, in, err := fs.Lookup(e, path)
+	ref, in, err := fs.LookupNoFollow(e, path) // a link to a dir is ENOTDIR
 	if err != nil {
 		return err
 	}

@@ -81,6 +81,7 @@ const (
 	soMTime   = 72
 	soExt0    = 80
 	soInd     = 116
+	soGen     = 124
 
 	extSize = 12
 
@@ -95,6 +96,10 @@ const (
 	// Entry kinds.
 	KindFile = 1
 	KindDir  = 2
+	// KindLink is a symbolic link: structurally a one-block file whose
+	// data is the target path, so allocation, ownership (the owns-udf's
+	// file branch) and deallocation all reuse the file machinery.
+	KindLink = 3
 )
 
 // Extent is a contiguous run of data blocks.
@@ -115,6 +120,11 @@ type Inode struct {
 	MTime uint32
 	Ext   [DirectExtents]Extent
 	Ind   uint64
+	// Gen is the slot's incarnation number, stamped at create time.
+	// Descriptors carry it so I/O through a ref whose slot has been
+	// recycled (unlink + create) fails with ErrStale instead of
+	// reading or corrupting the new occupant.
+	Gen uint32
 }
 
 // SlotOff returns the byte offset of slot i in a directory block.
@@ -142,6 +152,7 @@ func DecodeSlot(blk []byte, i int) Inode {
 		in.Ext[e].Count = binary.LittleEndian.Uint32(s[off+8:])
 	}
 	in.Ind = binary.LittleEndian.Uint64(s[soInd:])
+	in.Gen = binary.LittleEndian.Uint32(s[soGen:])
 	return in
 }
 
@@ -168,6 +179,7 @@ func EncodeSlot(in Inode) []byte {
 		binary.LittleEndian.PutUint32(s[off+8:], in.Ext[e].Count)
 	}
 	binary.LittleEndian.PutUint64(s[soInd:], in.Ind)
+	binary.LittleEndian.PutUint32(s[soGen:], in.Gen)
 	return s
 }
 

@@ -66,10 +66,13 @@ func FFSConfig() Config {
 }
 
 // Ref locates a file: the directory block holding its slot, and the
-// slot index. With embedded inodes this *is* the inode's address.
+// slot index. With embedded inodes this *is* the inode's address. Gen
+// is the incarnation the reference was resolved against; RefInode
+// rejects a ref whose slot has since been recycled.
 type Ref struct {
 	Dir  disk.BlockNo
 	Slot int
+	Gen  uint32
 }
 
 // Errors.
@@ -82,7 +85,13 @@ var (
 	ErrDirFull   = errors.New("cffs: directory has no free slots")
 	ErrFileLimit = errors.New("cffs: file size limit reached")
 	ErrNameLen   = errors.New("cffs: name too long")
+	ErrLinkLoop  = errors.New("cffs: too many levels of symbolic links")
+	ErrInvalOp   = errors.New("cffs: invalid operation for this entry kind")
+	ErrStale     = errors.New("cffs: stale file reference")
 )
+
+// MaxLinkDepth bounds symbolic-link resolution (ELOOP past it).
+const MaxLinkDepth = 8
 
 const itableBlocks = 32
 
@@ -99,8 +108,16 @@ type FS struct {
 
 	itable     disk.BlockNo // inode-table region (non-embedded mode)
 	dataCursor disk.BlockNo // FFS-style allocation cursor
+	genCtr     uint32       // monotonic slot-incarnation counter
 
 	nameCache map[string]Ref
+}
+
+// nextGen mints a fresh slot incarnation number (never 0, so a
+// zero-valued Ref can never validate against a live slot).
+func (fs *FS) nextGen() uint32 {
+	fs.genCtr++
+	return fs.genCtr
 }
 
 // Mkfs formats a new C-FFS on the volume: installs the three templates
@@ -285,7 +302,7 @@ func (fs *FS) findEntry(e *kernel.Env, head, parent disk.BlockNo, name string) (
 			}
 			in := DecodeSlot(data, i)
 			if in.Name == name {
-				return Ref{Dir: blk, Slot: i}, in, nil
+				return Ref{Dir: blk, Slot: i, Gen: in.Gen}, in, nil
 			}
 		}
 		next := DirNext(data)
@@ -331,14 +348,23 @@ func (fs *FS) walkDir(e *kernel.Env, path string) (disk.BlockNo, string, error) 
 	return cur, comps[len(comps)-1], nil
 }
 
-// Lookup resolves a path to its Ref and Inode.
-func (fs *FS) Lookup(e *kernel.Env, path string) (Ref, Inode, error) {
+// LookupNoFollow resolves a path to its Ref and Inode without
+// resolving a symbolic link in the final component (the lstat/unlink/
+// rename view of the namespace).
+func (fs *FS) LookupNoFollow(e *kernel.Env, path string) (Ref, Inode, error) {
+	comps := split(path)
 	if r, ok := fs.nameCache[path]; ok {
 		if fs.X.Cached(r.Dir) {
 			data := fs.dirData(r.Dir)
 			in := DecodeSlot(data, r.Slot)
-			if in.Used {
+			// A slot can be recycled for a different name after
+			// unlink+create; the name check keeps a stale cache entry
+			// from resurrecting the old path.
+			if in.Used && len(comps) > 0 && in.Name == comps[len(comps)-1] {
 				e.LibCall(50)
+				// Same name can reoccupy the slot after unlink+create;
+				// hand out the current incarnation, not the cached one.
+				r.Gen = in.Gen
 				return r, in, nil
 			}
 		}
@@ -355,6 +381,52 @@ func (fs *FS) Lookup(e *kernel.Env, path string) (Ref, Inode, error) {
 	fs.nameCache[path] = ref
 	fs.touchItable(e, ref, false)
 	return ref, in, nil
+}
+
+// Lookup resolves a path to its Ref and Inode, following symbolic
+// links in the final component (up to MaxLinkDepth).
+func (fs *FS) Lookup(e *kernel.Env, path string) (Ref, Inode, error) {
+	return fs.lookupFollow(e, path, 0)
+}
+
+func (fs *FS) lookupFollow(e *kernel.Env, path string, depth int) (Ref, Inode, error) {
+	ref, in, err := fs.LookupNoFollow(e, path)
+	if err != nil || in.Kind != KindLink {
+		return ref, in, err
+	}
+	if depth >= MaxLinkDepth {
+		return Ref{}, Inode{}, ErrLinkLoop
+	}
+	target, err := fs.ReadLink(e, ref, in)
+	if err != nil {
+		return Ref{}, Inode{}, err
+	}
+	if target == "" {
+		return Ref{}, Inode{}, ErrNotFound
+	}
+	// A relative target resolves against the link's containing
+	// directory.
+	if !strings.HasPrefix(target, "/") {
+		trimmed := strings.TrimRight(path, "/")
+		if i := strings.LastIndexByte(trimmed, '/'); i >= 0 {
+			target = trimmed[:i+1] + target
+		}
+	}
+	return fs.lookupFollow(e, target, depth+1)
+}
+
+// ReadLink returns the target path stored in a symbolic link's data
+// block.
+func (fs *FS) ReadLink(e *kernel.Env, ref Ref, in Inode) (string, error) {
+	if in.Kind != KindLink {
+		return "", ErrInvalOp
+	}
+	buf := make([]byte, in.Size)
+	n, err := fs.ReadAt(e, ref, 0, buf)
+	if err != nil {
+		return "", err
+	}
+	return string(buf[:n]), nil
 }
 
 // Stat returns the inode for path.
@@ -546,11 +618,12 @@ func (fs *FS) Create(e *kernel.Env, path string, uid, gid, mode uint32) (Ref, er
 		Used: true, Kind: KindFile, Name: name,
 		UID: uid, GID: gid, Mode: mode,
 		MTime: uint32(fs.X.K.Now().Seconds()),
+		Gen:   fs.nextGen(),
 	}
 	if err := fs.X.Modify(e, blk, []xn.Mod{{Off: SlotOff(slot), Bytes: EncodeSlot(in)}}); err != nil {
 		return Ref{}, err
 	}
-	ref := Ref{Dir: blk, Slot: slot}
+	ref := Ref{Dir: blk, Slot: slot, Gen: in.Gen}
 	fs.nameCache[path] = ref
 	fs.touchItable(e, ref, true)
 	fs.syncMeta(e, blk)
@@ -582,6 +655,7 @@ func (fs *FS) Mkdir(e *kernel.Env, path string, uid, gid, mode uint32) error {
 		Used: true, Kind: KindDir, Name: name,
 		UID: uid, GID: gid, Mode: mode,
 		MTime: uint32(fs.X.K.Now().Seconds()),
+		Gen:   fs.nextGen(),
 	}
 	in.Ext[0] = Extent{Start: uint64(nb), Count: 1}
 	if err := fs.X.Alloc(e, blk, []xn.Mod{{Off: SlotOff(slot), Bytes: EncodeSlot(in)}},
@@ -591,7 +665,7 @@ func (fs *FS) Mkdir(e *kernel.Env, path string, uid, gid, mode uint32) error {
 	if err := fs.X.InitMetadata(e, nb, EncodeDirHeader(uid, gid, mode)); err != nil {
 		return err
 	}
-	ref := Ref{Dir: blk, Slot: slot}
+	ref := Ref{Dir: blk, Slot: slot, Gen: in.Gen}
 	fs.touchItable(e, ref, true)
 	fs.syncMeta(e, nb, blk)
 	return nil
@@ -634,6 +708,69 @@ func (fs *FS) Readdir(e *kernel.Env, path string) ([]Inode, error) {
 	}
 }
 
+// Symlink creates a symbolic link at path whose data block holds the
+// target path. Structurally the link is a one-block file (so the
+// owns-udf's file branch covers it); only the slot kind differs.
+func (fs *FS) Symlink(e *kernel.Env, target, path string, uid, gid uint32) error {
+	ref, err := fs.Create(e, path, uid, gid, 0777)
+	if err != nil {
+		return err
+	}
+	if _, err := fs.WriteAt(e, ref, 0, []byte(target)); err != nil {
+		return err
+	}
+	in := DecodeSlot(fs.dirData(ref.Dir), ref.Slot)
+	in.Kind = KindLink
+	if err := fs.X.Modify(e, ref.Dir, []xn.Mod{{Off: SlotOff(ref.Slot), Bytes: EncodeSlot(in)}}); err != nil {
+		return err
+	}
+	fs.syncMeta(e, ref.Dir)
+	return nil
+}
+
+// Chmod changes the permission bits of the entry at path (following a
+// final-component symlink, as POSIX chmod does). For a directory the
+// mode is also mirrored into every block header of its chain, which is
+// where the acl-udf reads it.
+func (fs *FS) Chmod(e *kernel.Env, path string, mode uint32) error {
+	modeB := make([]byte, 4)
+	binary.LittleEndian.PutUint32(modeB, mode)
+	if len(split(path)) == 0 {
+		if err := fs.ensureDir(e, fs.Root, xn.NoParent); err != nil {
+			return err
+		}
+		if err := fs.X.Modify(e, fs.Root, []xn.Mod{{Off: hoMode, Bytes: modeB}}); err != nil {
+			return err
+		}
+		fs.syncMeta(e, fs.Root)
+		return nil
+	}
+	ref, in, err := fs.Lookup(e, path)
+	if err != nil {
+		return err
+	}
+	in.Mode = mode
+	if err := fs.X.Modify(e, ref.Dir, []xn.Mod{{Off: SlotOff(ref.Slot), Bytes: EncodeSlot(in)}}); err != nil {
+		return err
+	}
+	if in.Kind == KindDir {
+		blk, par := disk.BlockNo(in.Ext[0].Start), ref.Dir
+		for blk != 0 {
+			if err := fs.ensureDir(e, blk, par); err != nil {
+				return err
+			}
+			if err := fs.X.Modify(e, blk, []xn.Mod{{Off: hoMode, Bytes: modeB}}); err != nil {
+				return err
+			}
+			par = blk
+			blk = disk.BlockNo(DirNext(fs.dirData(blk)))
+		}
+	}
+	fs.touchItable(e, ref, true)
+	fs.syncMeta(e, ref.Dir)
+	return nil
+}
+
 // Rename renames within a directory via a slot update; a cross-
 // directory rename degrades to copy-and-delete at the libOS level.
 func (fs *FS) Rename(e *kernel.Env, oldPath, newPath string) error {
@@ -663,6 +800,16 @@ func (fs *FS) Rename(e *kernel.Env, oldPath, newPath string) error {
 		return err
 	}
 	delete(fs.nameCache, oldPath) // implicit name-cache update
+	if in.Kind == KindDir {
+		// Every cached path under the old name now resolves through a
+		// name that no longer exists; drop the whole subtree.
+		prefix := "/" + strings.Join(split(oldPath), "/") + "/"
+		for k := range fs.nameCache {
+			if strings.HasPrefix("/"+strings.Join(split(k), "/")+"/", prefix) {
+				delete(fs.nameCache, k)
+			}
+		}
+	}
 	fs.nameCache[newPath] = ref
 	fs.touchItable(e, ref, true)
 	fs.syncMeta(e, ref.Dir)

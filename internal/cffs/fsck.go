@@ -86,7 +86,9 @@ func (fs *FS) fsckDir(e *kernel.Env, head, parent disk.BlockNo, path string, r *
 				if err := fs.fsckDir(e, disk.BlockNo(in.Ext[0].Start), blk, full+"/", r, owners); err != nil {
 					return err
 				}
-			case KindFile:
+			case KindFile, KindLink:
+				// A symlink is structurally a file whose data block
+				// holds the target path; the same extent checks apply.
 				r.Files++
 				fs.fsckFile(e, Ref{Dir: blk, Slot: i}, in, full, r, owners)
 			default:

@@ -1,0 +1,54 @@
+package difftest
+
+import (
+	"testing"
+
+	"xok/internal/machine"
+	"xok/internal/ostest"
+	"xok/internal/sim"
+	"xok/internal/trace"
+	"xok/internal/workload"
+)
+
+// TestBenchmarkDeterminism pins the simulator's core guarantee at the
+// benchmark scale: two boots of the same personality running the same
+// workload (the Modified Andrew Benchmark plus a pipe ping-pong) must
+// agree on every traced event AND every cycle — not just final state.
+// The differential fuzzer depends on this: it compares personalities
+// against each other, which is only sound if a single personality never
+// disagrees with itself. A divergence here means nondeterminism leaked
+// into the simulation (map iteration, wall-clock time, shared state
+// across boots) and every published figure is suspect.
+func TestBenchmarkDeterminism(t *testing.T) {
+	rounds := 40
+	if testing.Short() {
+		rounds = 8
+	}
+	for _, pers := range machine.Personalities() {
+		pers := pers
+		t.Run(pers.String(), func(t *testing.T) {
+			run := func() (uint64, sim.Time) {
+				tr := trace.New()
+				m, err := machine.New(machine.Config{Personality: pers, Trace: tr})
+				if err != nil {
+					t.Fatalf("boot: %v", err)
+				}
+				if _, err := workload.MAB(m); err != nil {
+					t.Fatalf("mab: %v", err)
+				}
+				if lat := ostest.PipeLatency(machine.Runner(m), 64, rounds); lat == 0 {
+					t.Fatal("pipe benchmark failed")
+				}
+				return tr.Digest(), m.Now()
+			}
+			d1, c1 := run()
+			d2, c2 := run()
+			if d1 != d2 {
+				t.Errorf("trace digests differ across identical runs: %#x vs %#x", d1, d2)
+			}
+			if c1 != c2 {
+				t.Errorf("cycle counts differ across identical runs: %d vs %d", c1, c2)
+			}
+		})
+	}
+}

@@ -1,0 +1,87 @@
+package difftest
+
+import "xok/internal/machine"
+
+// Determinism mode: the same program runs twice on the same
+// personality — under a cloned fault plan when one is armed — and the
+// two runs must agree on everything, bit for bit: per-step outcomes,
+// final tree, audit findings, cycle count, and the full trace digest.
+// This is the property the rest of the repository silently assumes
+// (crash-point enumeration, benchmark reproducibility, the replay
+// tokens above); here it is checked mechanically across random
+// programs.
+//
+// Cross-personality comparison is deliberately NOT done under faults:
+// a kill-at-Nth-syscall or crash-at-depth plan fires at different
+// program points on personalities with different syscall sequences, so
+// personalities legitimately diverge. Within one personality the plan
+// is cloned per run and must land identically.
+
+func fuzzDeterminism(o *Options) (*Divergence, error) {
+	for i := 0; i < o.Seeds; i++ {
+		seed := o.BaseSeed + uint64(i)
+		steps := Generate(seed, o.Steps)
+		keep := allSteps(len(steps))
+		for _, pers := range o.Personalities {
+			div, err := o.determinismOnce(pers, seed, steps, keep)
+			if err != nil {
+				return nil, err
+			}
+			if div != nil {
+				o.logf("seed %d: nondeterminism on %s — shrinking", seed, div.A)
+				return o.shrinkDeterminism(pers, seed, steps, div)
+			}
+		}
+		if (i+1)%50 == 0 {
+			o.logf("%d/%d seeds deterministic", i+1, o.Seeds)
+		}
+	}
+	return nil, nil
+}
+
+// determinismOnce runs the kept steps twice on one personality and
+// compares exactly.
+func (o *Options) determinismOnce(pers machine.Personality, seed uint64, steps []Step, keep []int) (*Divergence, error) {
+	run := func() (*Result, error) {
+		var plan = o.Faults
+		if plan != nil {
+			// Clone per run: a plan consumes deterministic decisions as
+			// it goes; reusing one object would make run 2 see different
+			// faults than run 1 by construction.
+			plan = plan.Clone()
+		}
+		return o.runProgram(pers, steps, keep, plan, true)
+	}
+	r1, err := run()
+	if err != nil {
+		return nil, err
+	}
+	r2, err := run()
+	if err != nil {
+		return nil, err
+	}
+	if d := compare(r1, r2, true); d != "" {
+		return &Divergence{
+			Seed: seed, Steps: len(steps), Keep: keep,
+			A: pers.String(), B: pers.String() + " (2nd run)",
+			Where: d,
+		}, nil
+	}
+	return nil, nil
+}
+
+func (o *Options) shrinkDeterminism(pers machine.Personality, seed uint64, steps []Step, div *Divergence) (*Divergence, error) {
+	reproduces := func(keep []int) bool {
+		d, err := o.determinismOnce(pers, seed, steps, keep)
+		return err == nil && d != nil
+	}
+	keep := shrink(div.Keep, reproduces)
+	div.Keep = keep
+	div.Token = encodeToken(seed, len(steps), keep)
+	final, err := o.determinismOnce(pers, seed, steps, keep)
+	if err == nil && final != nil {
+		final.Token = div.Token
+		return final, nil
+	}
+	return div, nil
+}

@@ -1,0 +1,347 @@
+package difftest
+
+import "fmt"
+
+// The program generator: seed-driven, state-aware synthesis of
+// syscall programs over the unix.Proc surface. The same (seed, steps)
+// pair always yields the identical program — that is what makes a
+// replay token a complete reproducer.
+//
+// Generation is *state-aware*, not state-perfect: the generator keeps
+// a model of which paths and descriptors it believes exist and biases
+// choices toward valid calls (so programs mostly make progress), but
+// deliberately mixes in stale paths, closed descriptors, wrong pipe
+// ends and colliding names, because the errno surface is exactly where
+// personalities historically diverged.
+
+// Op enumerates the generated syscalls.
+type Op int
+
+// The generated operation set (ISSUE: mkdir/create/open/read/write/
+// seek/unlink/rename/link/stat/chmod/pipe/fork-lite, plus readdir,
+// rmdir and sync which fall out of the same surface).
+const (
+	OpMkdir Op = iota
+	OpCreate
+	OpOpen
+	OpRead
+	OpWrite
+	OpSeek
+	OpClose
+	OpStat
+	OpChmod
+	OpReaddir
+	OpUnlink
+	OpRmdir
+	OpRename
+	OpSymlink
+	OpPipe
+	OpFork
+	OpSync
+)
+
+var opNames = map[Op]string{
+	OpMkdir: "mkdir", OpCreate: "create", OpOpen: "open", OpRead: "read",
+	OpWrite: "write", OpSeek: "seek", OpClose: "close", OpStat: "stat",
+	OpChmod: "chmod", OpReaddir: "readdir", OpUnlink: "unlink",
+	OpRmdir: "rmdir", OpRename: "rename", OpSymlink: "symlink",
+	OpPipe: "pipe", OpFork: "fork", OpSync: "sync",
+}
+
+// String names the op.
+func (o Op) String() string {
+	if n, ok := opNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("op%d", int(o))
+}
+
+// Step is one generated syscall. Descriptors are named by *slot*: the
+// step that opened them. A consumer holds the producer's slot number,
+// so when shrinking removes the producer, the consumer degrades to a
+// deterministic EBADF instead of aliasing an unrelated descriptor.
+type Step struct {
+	Op     Op
+	Path   string // primary path operand
+	Path2  string // rename destination / symlink target
+	Slot   int    // descriptor slot this step defines (open/create: 1, pipe: Slot and Slot+1)
+	FD     int    // descriptor slot this step uses (-1 = none)
+	Size   int    // read/write byte count
+	Off    int64  // seek offset
+	Whence int
+	Mode   uint32
+	Fill   byte // write payload byte (mixed with the offset for content)
+}
+
+// String renders a step compactly for failure reports.
+func (s Step) String() string {
+	switch s.Op {
+	case OpMkdir, OpCreate:
+		return fmt.Sprintf("%s(%q, %o) -> s%d", s.Op, s.Path, s.Mode, s.Slot)
+	case OpOpen:
+		return fmt.Sprintf("open(%q) -> s%d", s.Path, s.Slot)
+	case OpRead:
+		return fmt.Sprintf("read(s%d, %d)", s.FD, s.Size)
+	case OpWrite:
+		return fmt.Sprintf("write(s%d, %d×%#x)", s.FD, s.Size, s.Fill)
+	case OpSeek:
+		return fmt.Sprintf("seek(s%d, %d, %d)", s.FD, s.Off, s.Whence)
+	case OpClose:
+		return fmt.Sprintf("close(s%d)", s.FD)
+	case OpStat, OpReaddir, OpUnlink, OpRmdir:
+		return fmt.Sprintf("%s(%q)", s.Op, s.Path)
+	case OpChmod:
+		return fmt.Sprintf("chmod(%q, %o)", s.Path, s.Mode)
+	case OpRename:
+		return fmt.Sprintf("rename(%q, %q)", s.Path, s.Path2)
+	case OpSymlink:
+		return fmt.Sprintf("symlink(%q -> %q)", s.Path, s.Path2)
+	case OpPipe:
+		return fmt.Sprintf("pipe() -> s%d,s%d", s.Slot, s.Slot+1)
+	case OpFork:
+		return fmt.Sprintf("fork{create %q}", s.Path)
+	case OpSync:
+		return "sync()"
+	}
+	return s.Op.String()
+}
+
+// rng is splitmix64: tiny, deterministic, sequence-stable across
+// architectures (math/rand's stream is not part of the Go 1
+// compatibility promise; this one is ours).
+type rng struct{ s uint64 }
+
+func newRng(seed uint64) *rng { return &rng{s: seed*0x9E3779B97F4A7C15 + 0x1F123BB5} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *rng) pick(ss []string) string { return ss[r.intn(len(ss))] }
+
+// oneIn rolls a 1/n chance.
+func (r *rng) oneIn(n int) bool { return r.intn(n) == 0 }
+
+// genModel is the generator's belief about machine state. It is only a
+// bias — the executor never consults it.
+type genModel struct {
+	dirs     []string // directories believed to exist ("" is the root)
+	files    []string // file (and symlink) paths believed to exist
+	fileFDs  []int    // slots holding believed-open file descriptors
+	pipeRs   []int    // slots holding believed-open pipe read ends
+	pipeWs   []int    // slots holding believed-open pipe write ends
+	nextSlot int
+}
+
+var (
+	fileNames = []string{"a", "b", "c", "f1", "f2", "longer-name"}
+	dirNames  = []string{"d0", "d1", "sub"}
+	sizes     = []int{1, 8, 100, 700, 4096, 5000, 17000}
+)
+
+// freshPath invents a path under an existing directory; a small
+// namespace makes collisions (EEXIST) and re-use after unlink common.
+func (m *genModel) freshPath(r *rng) string {
+	return m.dirs[r.intn(len(m.dirs))] + "/" + r.pick(fileNames)
+}
+
+func (m *genModel) freshDirPath(r *rng) string {
+	return m.dirs[r.intn(len(m.dirs))] + "/" + r.pick(dirNames)
+}
+
+// somePath picks a path for a consuming op: usually one believed to
+// exist, sometimes fresh, occasionally nonsense.
+func (m *genModel) somePath(r *rng) string {
+	switch {
+	case len(m.files) > 0 && r.intn(10) < 6:
+		return m.files[r.intn(len(m.files))]
+	case r.oneIn(8):
+		return "/no/such/path"
+	default:
+		return m.freshPath(r)
+	}
+}
+
+// someFD picks a descriptor slot: usually a live file fd, sometimes a
+// pipe end, occasionally a slot that was never (or is no longer) open.
+func (m *genModel) someFD(r *rng) int {
+	pools := [][]int{}
+	if len(m.fileFDs) > 0 {
+		pools = append(pools, m.fileFDs, m.fileFDs, m.fileFDs) // weight 3
+	}
+	if len(m.pipeRs) > 0 {
+		pools = append(pools, m.pipeRs)
+	}
+	if len(m.pipeWs) > 0 {
+		pools = append(pools, m.pipeWs)
+	}
+	if len(pools) == 0 || r.oneIn(12) {
+		if m.nextSlot == 0 {
+			return 0
+		}
+		return r.intn(m.nextSlot + 1) // any historical slot, maybe closed
+	}
+	pool := pools[r.intn(len(pools))]
+	return pool[r.intn(len(pool))]
+}
+
+func remove(s []int, v int) []int {
+	for i, x := range s {
+		if x == v {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+func removeStr(s []string, v string) []string {
+	for i, x := range s {
+		if x == v {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// Generate produces the deterministic n-step program for seed.
+func Generate(seed uint64, n int) []Step {
+	r := newRng(seed)
+	m := &genModel{dirs: []string{""}}
+	steps := make([]Step, 0, n)
+	for len(steps) < n {
+		steps = append(steps, m.genStep(r))
+	}
+	return steps
+}
+
+// weights for op selection; state-aware adjustments happen in genStep.
+var opWeights = []struct {
+	op Op
+	w  int
+}{
+	{OpCreate, 14}, {OpOpen, 10}, {OpWrite, 14}, {OpRead, 12},
+	{OpSeek, 6}, {OpClose, 8}, {OpStat, 8}, {OpChmod, 4},
+	{OpReaddir, 4}, {OpMkdir, 6}, {OpUnlink, 6}, {OpRmdir, 3},
+	{OpRename, 6}, {OpSymlink, 5}, {OpPipe, 3}, {OpFork, 2}, {OpSync, 2},
+}
+
+func (m *genModel) genStep(r *rng) Step {
+	total := 0
+	for _, ow := range opWeights {
+		total += ow.w
+	}
+	// Bootstrap bias: with nothing open and nothing on disk, the
+	// consuming ops would all be noise.
+	op := OpCreate
+	if len(m.files) > 0 || len(m.fileFDs) > 0 || r.intn(10) < 3 {
+		roll := r.intn(total)
+		for _, ow := range opWeights {
+			if roll < ow.w {
+				op = ow.op
+				break
+			}
+			roll -= ow.w
+		}
+	}
+
+	switch op {
+	case OpMkdir:
+		p := m.freshDirPath(r)
+		m.dirs = append(m.dirs, p)
+		return Step{Op: OpMkdir, Path: p, Mode: 7}
+	case OpCreate:
+		p := m.freshPath(r)
+		s := Step{Op: OpCreate, Path: p, Slot: m.nextSlot, Mode: uint32(6 + r.intn(2))}
+		m.nextSlot++
+		m.files = append(m.files, p)
+		m.fileFDs = append(m.fileFDs, s.Slot)
+		return s
+	case OpOpen:
+		s := Step{Op: OpOpen, Path: m.somePath(r), Slot: m.nextSlot}
+		m.nextSlot++
+		m.fileFDs = append(m.fileFDs, s.Slot)
+		return s
+	case OpRead:
+		return Step{Op: OpRead, FD: m.someFD(r), Size: sizes[r.intn(len(sizes))]}
+	case OpWrite:
+		return Step{Op: OpWrite, FD: m.someFD(r), Size: sizes[r.intn(len(sizes))],
+			Fill: byte('A' + r.intn(26))}
+	case OpSeek:
+		off := int64(r.intn(9000)) - 100                                      // negative offsets on purpose
+		return Step{Op: OpSeek, FD: m.someFD(r), Off: off, Whence: r.intn(4)} // whence 3 = EINVAL
+	case OpClose:
+		fd := m.someFD(r)
+		m.fileFDs = remove(m.fileFDs, fd)
+		m.pipeRs = remove(m.pipeRs, fd)
+		m.pipeWs = remove(m.pipeWs, fd)
+		return Step{Op: OpClose, FD: fd}
+	case OpStat:
+		return Step{Op: OpStat, Path: m.somePath(r)}
+	case OpChmod:
+		return Step{Op: OpChmod, Path: m.somePath(r), Mode: uint32(r.intn(8))}
+	case OpReaddir:
+		return Step{Op: OpReaddir, Path: m.dirs[r.intn(len(m.dirs))]}
+	case OpUnlink:
+		p := m.somePath(r)
+		m.files = removeStr(m.files, p)
+		return Step{Op: OpUnlink, Path: p}
+	case OpRmdir:
+		var p string
+		if len(m.dirs) > 1 && !r.oneIn(4) {
+			p = m.dirs[1+r.intn(len(m.dirs)-1)]
+			// Believe the removal only when nothing obviously lives
+			// under it; either way the executor records the truth.
+			m.dirs = removeStr(m.dirs, p)
+		} else {
+			p = m.somePath(r)
+		}
+		return Step{Op: OpRmdir, Path: p}
+	case OpRename:
+		oldP := m.somePath(r)
+		var newP string
+		if r.oneIn(3) {
+			newP = m.somePath(r) // collision or cross-directory attempt
+		} else {
+			// Same-directory rename: the supported fast path.
+			if i := lastSlash(oldP); i >= 0 {
+				newP = oldP[:i+1] + r.pick(fileNames)
+			} else {
+				newP = m.freshPath(r)
+			}
+		}
+		m.files = removeStr(m.files, oldP)
+		m.files = append(m.files, newP)
+		return Step{Op: OpRename, Path: oldP, Path2: newP}
+	case OpSymlink:
+		target := m.somePath(r)
+		p := m.freshPath(r)
+		m.files = append(m.files, p)
+		return Step{Op: OpSymlink, Path: target, Path2: p}
+	case OpPipe:
+		s := Step{Op: OpPipe, Slot: m.nextSlot}
+		m.pipeRs = append(m.pipeRs, m.nextSlot)
+		m.pipeWs = append(m.pipeWs, m.nextSlot+1)
+		m.nextSlot += 2
+		return s
+	case OpFork:
+		p := m.freshPath(r)
+		m.files = append(m.files, p)
+		return Step{Op: OpFork, Path: p, Fill: byte('a' + r.intn(26))}
+	}
+	return Step{Op: OpSync}
+}
+
+func lastSlash(p string) int {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,38 @@
+package difftest
+
+import "testing"
+
+// Shrunk reproducers of real divergences the fuzzer caught, kept as
+// replay tokens. Each one failed before its fix landed; replaying it
+// must now come back clean on every personality. The cffs-level
+// translations live in internal/cffs/stale_test.go — these exercise
+// the same bugs end to end through the replay machinery, which also
+// pins the token workflow itself.
+//
+//	452:…   — file-hole blocks exposed stale disk contents (content
+//	          hash diverged between allocation policies; fixed by
+//	          zero-filling uninit blocks in xn.Read and initializing
+//	          hole blocks at cffs write time)
+//	5136:…  — holes left metadata tainted, so sync() failed forever on
+//	          the protected personality only
+//	5390:…  — I/O through a stale descriptor failed with different
+//	          internal errors per personality (now uniformly ESTALE
+//	          via slot generations)
+func TestFixedDivergenceTokens(t *testing.T) {
+	tokens := []string{
+		"452:40:0,2,7,13-14,19,22,36",
+		"5136:80:1-2,5,12,14,19,23,40-41,45",
+		"5390:80:1,6,8-9,11,16,19,30",
+	}
+	for _, tok := range tokens {
+		div, err := Replay(tok, Options{})
+		if err != nil {
+			t.Errorf("replay %s: %v", tok, err)
+			continue
+		}
+		if div != nil {
+			prog, _ := Program(tok)
+			t.Errorf("token %s diverges again:\n%v\nprogram:\n%s", tok, div, prog)
+		}
+	}
+}

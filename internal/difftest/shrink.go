@@ -1,0 +1,146 @@
+package difftest
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// shrink is ddmin-style delta debugging over step indices: it returns
+// a subset of keep (order preserved) for which reproduces still holds,
+// locally minimal in the sense that removing any single remaining step
+// breaks reproduction. reproduces(keep) must be true on entry.
+func shrink(keep []int, reproduces func([]int) bool) []int {
+	cur := append([]int(nil), keep...)
+	n := 2
+	for len(cur) >= 2 {
+		chunk := (len(cur) + n - 1) / n
+		reduced := false
+		// Try deleting each chunk (complement testing — the useful half
+		// of classic ddmin for "smaller is always easier" workloads).
+		for lo := 0; lo < len(cur); lo += chunk {
+			hi := lo + chunk
+			if hi > len(cur) {
+				hi = len(cur)
+			}
+			cand := append(append([]int(nil), cur[:lo]...), cur[hi:]...)
+			if len(cand) > 0 && reproduces(cand) {
+				cur = cand
+				n = 2
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(cur) {
+				break
+			}
+			n *= 2
+			if n > len(cur) {
+				n = len(cur)
+			}
+		}
+	}
+	// Final one-at-a-time pass guarantees 1-minimality even when the
+	// chunk schedule skipped a singleton.
+	for i := 0; i < len(cur) && len(cur) > 1; {
+		cand := append(append([]int(nil), cur[:i]...), cur[i+1:]...)
+		if reproduces(cand) {
+			cur = cand
+		} else {
+			i++
+		}
+	}
+	return cur
+}
+
+// encodeToken renders a replay token: "seed:steps:keep" where keep is
+// "all" or compact index ranges ("3-5,9"). The token plus the
+// generator version pins the exact reproducer — Generate(seed, steps)
+// restricted to the kept indices.
+func encodeToken(seed uint64, steps int, keep []int) string {
+	return fmt.Sprintf("%d:%d:%s", seed, steps, encodeRanges(keep, steps))
+}
+
+func encodeRanges(keep []int, steps int) string {
+	if len(keep) == steps {
+		return "all"
+	}
+	sorted := append([]int(nil), keep...)
+	sort.Ints(sorted)
+	var parts []string
+	for i := 0; i < len(sorted); {
+		j := i
+		for j+1 < len(sorted) && sorted[j+1] == sorted[j]+1 {
+			j++
+		}
+		if i == j {
+			parts = append(parts, strconv.Itoa(sorted[i]))
+		} else {
+			parts = append(parts, fmt.Sprintf("%d-%d", sorted[i], sorted[j]))
+		}
+		i = j + 1
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseToken decodes a replay token back into (seed, program length,
+// kept step indices).
+func ParseToken(token string) (seed uint64, steps int, keep []int, err error) {
+	parts := strings.SplitN(strings.TrimSpace(token), ":", 3)
+	if len(parts) != 3 {
+		return 0, 0, nil, fmt.Errorf("difftest: bad token %q (want seed:steps:keep)", token)
+	}
+	seed, err = strconv.ParseUint(parts[0], 0, 64)
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("difftest: bad token seed %q: %v", parts[0], err)
+	}
+	steps, err = strconv.Atoi(parts[1])
+	if err != nil || steps <= 0 {
+		return 0, 0, nil, fmt.Errorf("difftest: bad token step count %q", parts[1])
+	}
+	if parts[2] == "all" {
+		return seed, steps, allSteps(steps), nil
+	}
+	for _, r := range strings.Split(parts[2], ",") {
+		lo, hi, ok := parseRange(r)
+		if !ok || lo < 0 || hi >= steps || lo > hi {
+			return 0, 0, nil, fmt.Errorf("difftest: bad token range %q", r)
+		}
+		for i := lo; i <= hi; i++ {
+			keep = append(keep, i)
+		}
+	}
+	if len(keep) == 0 {
+		return 0, 0, nil, fmt.Errorf("difftest: token keeps no steps")
+	}
+	sort.Ints(keep)
+	return seed, steps, keep, nil
+}
+
+func parseRange(s string) (lo, hi int, ok bool) {
+	if i := strings.IndexByte(s, '-'); i >= 0 {
+		a, err1 := strconv.Atoi(s[:i])
+		b, err2 := strconv.Atoi(s[i+1:])
+		return a, b, err1 == nil && err2 == nil
+	}
+	a, err := strconv.Atoi(s)
+	return a, a, err == nil
+}
+
+// Program renders the kept steps of a token's program — what the
+// harness prints under a divergence so the reproducer is readable
+// without running anything.
+func Program(token string) (string, error) {
+	seed, n, keep, err := ParseToken(token)
+	if err != nil {
+		return "", err
+	}
+	steps := Generate(seed, n)
+	var b strings.Builder
+	for _, i := range keep {
+		fmt.Fprintf(&b, "%3d %s\n", i, steps[i])
+	}
+	return b.String(), nil
+}

@@ -99,6 +99,12 @@ func (m *Proc) Rename(oldPath, newPath string) error {
 	return m.P.Rename(oldPath, newPath)
 }
 
+// Chmod emulates chmod(2).
+func (m *Proc) Chmod(path string, mode uint32) error { m.reroute(); return m.P.Chmod(path, mode) }
+
+// Symlink emulates symlink(2).
+func (m *Proc) Symlink(target, path string) error { m.reroute(); return m.P.Symlink(target, path) }
+
 // Sync emulates sync(2).
 func (m *Proc) Sync() error { m.reroute(); return m.P.Sync() }
 

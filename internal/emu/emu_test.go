@@ -130,7 +130,7 @@ func TestEmulatorFullConformance(t *testing.T) {
 		})
 		s.Run()
 	}
-	if err := ostest.CheckFileOps(runE); err != nil {
+	if err := ostest.CheckFileOps("Xok/ExOS (emulated)", runE); err != nil {
 		t.Fatalf("file ops under emulation: %v", err)
 	}
 	if err := ostest.CheckPipe(runE); err != nil {

@@ -18,7 +18,7 @@ func runner(cfg Config) (ostest.RunFunc, *System) {
 
 func TestFileOpsConformance(t *testing.T) {
 	run, _ := runner(Config{Protect: true})
-	if err := ostest.CheckFileOps(run); err != nil {
+	if err := ostest.CheckFileOps("Xok/ExOS", run); err != nil {
 		t.Fatal(err)
 	}
 }

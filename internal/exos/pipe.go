@@ -1,11 +1,10 @@
 package exos
 
 import (
-	"errors"
-
 	"xok/internal/cap"
 	"xok/internal/kernel"
 	"xok/internal/sim"
+	"xok/internal/unix"
 	"xok/internal/wkpred"
 )
 
@@ -25,8 +24,9 @@ import (
 
 const pipeCapacity = 16384
 
-// ErrPipeClosed reports a write to a pipe with no reader.
-var ErrPipeClosed = errors.New("exos: broken pipe")
+// ErrPipeClosed reports a write to a pipe with no reader (the
+// canonical unix.ErrPipe, shared across personalities).
+var ErrPipeClosed = unix.ErrPipe
 
 type pipe struct {
 	s      *System

@@ -1,9 +1,6 @@
 package exos
 
 import (
-	"errors"
-	"fmt"
-
 	"xok/internal/cap"
 	"xok/internal/cffs"
 	"xok/internal/kernel"
@@ -40,9 +37,11 @@ type file struct {
 	pipe *pipe
 }
 
-// Errors.
+// Errors. The canonical unix values: every personality must return
+// identical errno values for identical misuse (internal/difftest
+// compares them by identity across personalities).
 var (
-	ErrBadFD = errors.New("exos: bad file descriptor")
+	ErrBadFD = unix.ErrBadFD
 )
 
 var _ unix.Proc = (*Proc)(nil)
@@ -125,7 +124,7 @@ func (p *Proc) Read(fd unix.FD, buf []byte) (int, error) {
 	case kindPipeR:
 		return f.pipe.read(p.e, buf)
 	case kindPipeW:
-		return 0, fmt.Errorf("exos: read from write end of pipe")
+		return 0, unix.ErrBadFD // read from write end
 	}
 	n, err := f.fs.ReadAt(p.e, f.ref, f.off, buf)
 	f.off += int64(n)
@@ -142,7 +141,7 @@ func (p *Proc) Write(fd unix.FD, buf []byte) (int, error) {
 	case kindPipeW:
 		return f.pipe.write(p.e, buf)
 	case kindPipeR:
-		return 0, fmt.Errorf("exos: write to read end of pipe")
+		return 0, unix.ErrBadFD // write to read end
 	}
 	n, err := f.fs.WriteAt(p.e, f.ref, f.off, buf)
 	f.off += int64(n)
@@ -156,23 +155,33 @@ func (p *Proc) Seek(fd unix.FD, off int64, whence int) (int64, error) {
 		return 0, err
 	}
 	if f.kind != kindFile {
-		return 0, fmt.Errorf("exos: seek on pipe")
+		return 0, unix.ErrSeekPipe
 	}
 	p.e.LibCall(20)
+	pos := f.off
 	switch whence {
 	case unix.SeekSet:
-		f.off = off
+		pos = off
 	case unix.SeekCur:
-		f.off += off
+		pos += off
 	case unix.SeekEnd:
-		in, err := f.fs.Stat(p.e, f.path)
+		// Size comes from the descriptor's inode, not its path: the
+		// descriptor must follow the file across rename and go stale
+		// (not resolve a new occupant) after unlink.
+		in, err := f.fs.RefInode(p.e, f.ref)
 		if err != nil {
 			return 0, err
 		}
-		f.off = int64(in.Size) + off
+		pos = int64(in.Size) + off
 	default:
-		return 0, fmt.Errorf("exos: bad whence %d", whence)
+		return 0, unix.ErrInval
 	}
+	if pos < 0 {
+		// A negative offset must not become the descriptor position:
+		// a later read would slice a page at a negative index.
+		return 0, unix.ErrInval
+	}
+	f.off = pos
 	return f.off, nil
 }
 
@@ -218,7 +227,8 @@ func (p *Proc) Readdir(path string) ([]unix.DirEnt, error) {
 	}
 	out := make([]unix.DirEnt, len(ents))
 	for i, in := range ents {
-		out[i] = unix.DirEnt{Name: in.Name, IsDir: in.Kind == cffs.KindDir, Size: int64(in.Size)}
+		out[i] = unix.DirEnt{Name: in.Name, IsDir: in.Kind == cffs.KindDir,
+			IsLink: in.Kind == cffs.KindLink, Size: int64(in.Size)}
 	}
 	return out, nil
 }
@@ -239,9 +249,21 @@ func (p *Proc) Rmdir(path string) error {
 func (p *Proc) Rename(oldPath, newPath string) error {
 	fs, ra, rb, same := p.s.resolve2(oldPath, newPath)
 	if !same {
-		return fmt.Errorf("exos: cross-device rename")
+		return unix.ErrXDev
 	}
 	return fs.Rename(p.e, ra, rb)
+}
+
+// Chmod changes permission bits.
+func (p *Proc) Chmod(path string, mode uint32) error {
+	fs, rel := p.s.resolve(path)
+	return fs.Chmod(p.e, rel, mode)
+}
+
+// Symlink creates a symbolic link.
+func (p *Proc) Symlink(target, path string) error {
+	fs, rel := p.s.resolve(path)
+	return fs.Symlink(p.e, target, rel, uint32(p.uid), uint32(p.uid))
 }
 
 // Sync flushes all mounted file systems (they share one XN, so one

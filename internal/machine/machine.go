@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"xok/internal/bsdos"
+	"xok/internal/cffs"
 	"xok/internal/disk"
 	"xok/internal/exos"
 	"xok/internal/fault"
@@ -111,6 +112,17 @@ type Machine interface {
 	// the surviving disk image (including torn in-flight writes when
 	// the fault plan arms them) is captured, and the machine is dead.
 	Crash(at sim.Time) disk.Image
+	// FSSpec returns the root file system's registry name and
+	// structural profile — what cffs.AuditImage needs to re-attach a
+	// crash image of this machine forensically.
+	FSSpec() (string, cffs.Config)
+}
+
+// Personalities lists every personality, in the paper's order. Cross-
+// personality harnesses (internal/difftest) iterate this rather than
+// hard-coding the set.
+func Personalities() []Personality {
+	return []Personality{XokExOS, XokUnprotected, FreeBSD, OpenBSD, OpenBSDCFFS}
 }
 
 // New boots the machine cfg describes.
@@ -206,6 +218,9 @@ func (m Xok) Disk() *disk.Disk { return m.S.K.Disk }
 // Crash implements Machine.
 func (m Xok) Crash(at sim.Time) disk.Image { return m.S.K.Crash(at) }
 
+// FSSpec implements Machine.
+func (m Xok) FSSpec() (string, cffs.Config) { return "cffs", cffs.DefaultConfig() }
+
 // BSD wraps a BSD system as a Machine.
 type BSD struct{ S *bsdos.System }
 
@@ -234,3 +249,6 @@ func (m BSD) Disk() *disk.Disk { return m.S.K.Disk }
 
 // Crash implements Machine.
 func (m BSD) Crash(at sim.Time) disk.Image { return m.S.K.Crash(at) }
+
+// FSSpec implements Machine.
+func (m BSD) FSSpec() (string, cffs.Config) { return "ffs", m.S.FSCfg }

@@ -8,6 +8,7 @@ package ostest
 import (
 	"bytes"
 	"fmt"
+	"strings"
 
 	"xok/internal/sim"
 	"xok/internal/unix"
@@ -17,35 +18,48 @@ import (
 // under test and drains the machine before returning.
 type RunFunc func(main func(unix.Proc))
 
-// CheckFileOps exercises the POSIX surface end to end; it returns an
-// error describing the first misbehavior.
-func CheckFileOps(run RunFunc) error {
+// CheckFileOps exercises the POSIX surface end to end on the named
+// personality; it returns an error describing the first misbehavior,
+// prefixed with the personality name and carrying the full call
+// transcript up to the failure, so a conformance failure is
+// diagnosable without a debugger.
+func CheckFileOps(name string, run RunFunc) error {
 	var failure error
+	var transcript []string
+	call := func(format string, args ...any) {
+		transcript = append(transcript, fmt.Sprintf(format, args...))
+	}
 	fail := func(format string, args ...any) {
 		if failure == nil {
-			failure = fmt.Errorf(format, args...)
+			failure = fmt.Errorf("%s: %s\ncall transcript (last call failed):\n  %s",
+				name, fmt.Sprintf(format, args...), strings.Join(transcript, "\n  "))
 		}
 	}
 	run(func(p unix.Proc) {
+		call("mkdir(/dir, 7)")
 		if err := p.Mkdir("/dir", 7); err != nil {
 			fail("mkdir: %v", err)
 			return
 		}
+		call("create(/dir/file, 6)")
 		fd, err := p.Create("/dir/file", 6)
 		if err != nil {
 			fail("create: %v", err)
 			return
 		}
 		payload := bytes.Repeat([]byte("abcdefgh"), 1000) // 8 KB
+		call("write(fd, %d bytes)", len(payload))
 		if n, err := p.Write(fd, payload); err != nil || n != len(payload) {
 			fail("write = %d, %v", n, err)
 			return
 		}
+		call("seek(fd, 0, SET)")
 		if _, err := p.Seek(fd, 0, unix.SeekSet); err != nil {
 			fail("seek: %v", err)
 			return
 		}
 		buf := make([]byte, len(payload))
+		call("read(fd, %d bytes)", len(buf))
 		if n, err := p.Read(fd, buf); err != nil || n != len(payload) {
 			fail("read = %d, %v", n, err)
 			return
@@ -55,44 +69,106 @@ func CheckFileOps(run RunFunc) error {
 			return
 		}
 		// Sequential read hits EOF.
+		call("read(fd) at EOF")
 		if n, err := p.Read(fd, buf); err != nil || n != 0 {
 			fail("read at EOF = %d, %v", n, err)
 			return
 		}
+		call("seek(fd, -1, SET)")
+		if _, err := p.Seek(fd, -1, unix.SeekSet); err == nil {
+			fail("seek to negative offset succeeded")
+			return
+		}
+		call("close(fd)")
 		if err := p.Close(fd); err != nil {
 			fail("close: %v", err)
 			return
 		}
+		call("stat(/dir/file)")
 		st, err := p.Stat("/dir/file")
 		if err != nil || st.Size != int64(len(payload)) {
 			fail("stat = %+v, %v", st, err)
 			return
 		}
+		call("chmod(/dir/file, 4)")
+		if err := p.Chmod("/dir/file", 4); err != nil {
+			fail("chmod: %v", err)
+			return
+		}
+		call("stat(/dir/file) after chmod")
+		if st, err := p.Stat("/dir/file"); err != nil || st.Mode != 4 {
+			fail("stat after chmod = %+v, %v", st, err)
+			return
+		}
+		call("symlink(/dir/file, /dir/link)")
+		if err := p.Symlink("/dir/file", "/dir/link"); err != nil {
+			fail("symlink: %v", err)
+			return
+		}
+		call("stat(/dir/link)")
+		if st, err := p.Stat("/dir/link"); err != nil || st.Size != int64(len(payload)) {
+			fail("stat through link = %+v, %v", st, err)
+			return
+		}
+		call("open(/dir/link)")
+		lfd, err := p.Open("/dir/link")
+		if err != nil {
+			fail("open through link: %v", err)
+			return
+		}
+		small := make([]byte, 8)
+		call("read(lfd, 8 bytes)")
+		if n, err := p.Read(lfd, small); err != nil || n != 8 || !bytes.Equal(small, payload[:8]) {
+			fail("read through link = %d, %v", n, err)
+			return
+		}
+		call("close(lfd)")
+		if err := p.Close(lfd); err != nil {
+			fail("close link fd: %v", err)
+			return
+		}
+		call("unlink(/dir/link)")
+		if err := p.Unlink("/dir/link"); err != nil {
+			fail("unlink link: %v", err)
+			return
+		}
+		call("stat(/dir/file) after link removal")
+		if _, err := p.Stat("/dir/file"); err != nil {
+			fail("unlinking the link removed the target: %v", err)
+			return
+		}
+		call("readdir(/dir)")
 		ents, err := p.Readdir("/dir")
 		if err != nil || len(ents) != 1 || ents[0].Name != "file" {
 			fail("readdir = %v, %v", ents, err)
 			return
 		}
+		call("rename(/dir/file, /dir/renamed)")
 		if err := p.Rename("/dir/file", "/dir/renamed"); err != nil {
 			fail("rename: %v", err)
 			return
 		}
+		call("open(/dir/file) after rename")
 		if _, err := p.Open("/dir/file"); err == nil {
 			fail("old name still opens")
 			return
 		}
+		call("unlink(/dir/renamed)")
 		if err := p.Unlink("/dir/renamed"); err != nil {
 			fail("unlink: %v", err)
 			return
 		}
+		call("rmdir(/dir)")
 		if err := p.Rmdir("/dir"); err != nil {
 			fail("rmdir: %v", err)
 			return
 		}
+		call("sync()")
 		if err := p.Sync(); err != nil {
 			fail("sync: %v", err)
 			return
 		}
+		call("getpid()")
 		if p.Getpid() <= 0 {
 			fail("getpid = %d", p.Getpid())
 		}

@@ -232,6 +232,59 @@ func (t *Tracer) Spans() []Span {
 	return out
 }
 
+// Digest folds every recorded event — phase, lane, category, name,
+// timestamps, args — plus the histogram and counter totals into one
+// FNV-1a hash. Two runs of the same deterministic simulation must
+// produce identical digests; internal/difftest's determinism mode
+// asserts exactly that. Nil-safe (returns the FNV offset basis).
+func (t *Tracer) Digest() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mixByte := func(b byte) { h = (h ^ uint64(b)) * prime64 }
+	mixInt := func(v int64) {
+		for i := 0; i < 8; i++ {
+			mixByte(byte(v >> (8 * i)))
+		}
+	}
+	mixStr := func(s string) {
+		mixInt(int64(len(s)))
+		for i := 0; i < len(s); i++ {
+			mixByte(s[i])
+		}
+	}
+	if t == nil {
+		return h
+	}
+	for _, ev := range t.events {
+		mixByte(ev.phase)
+		mixInt(ev.pid)
+		mixInt(ev.tid)
+		mixStr(ev.cat)
+		mixStr(ev.name)
+		mixInt(int64(ev.begin))
+		mixInt(int64(ev.end))
+		for _, a := range ev.args {
+			mixStr(a.Key)
+			mixStr(a.Val)
+		}
+	}
+	mixInt(t.dropped)
+	for _, k := range t.histOrder {
+		hist := t.hists[k]
+		mixStr(k)
+		mixInt(hist.Count())
+		mixInt(int64(hist.Sum()))
+	}
+	for _, k := range t.countOrder {
+		mixStr(k)
+		mixInt(t.counts[k])
+	}
+	return h
+}
+
 // Dropped reports how many events were discarded past MaxEvents.
 func (t *Tracer) Dropped() int64 {
 	if t == nil {

@@ -13,11 +13,36 @@
 // FreeBSD (Section 6).
 package unix
 
-import "xok/internal/sim"
+import (
+	"errors"
+
+	"xok/internal/sim"
+)
 
 // FD is a file descriptor: a small integer naming an entry in the
 // process's descriptor table.
 type FD int
+
+// Canonical errors. Every personality returns these exact values for
+// the corresponding misuse, so the same program observes the same
+// errno on Xok/ExOS and on the BSD models — the paper's systems differ
+// in cost, never in semantics. internal/difftest's cross-personality
+// fuzzer compares errors by identity and flags any personality that
+// invents its own.
+var (
+	// ErrBadFD is EBADF: the descriptor is closed, was never open, or
+	// names the wrong end of a pipe for the operation.
+	ErrBadFD = errors.New("bad file descriptor")
+	// ErrInval is EINVAL: a bad whence, or a seek that would land
+	// before the start of the file.
+	ErrInval = errors.New("invalid argument")
+	// ErrSeekPipe is ESPIPE: seek on a pipe.
+	ErrSeekPipe = errors.New("illegal seek")
+	// ErrPipe is EPIPE: write to a pipe with no read end open.
+	ErrPipe = errors.New("broken pipe")
+	// ErrXDev is EXDEV: rename across file systems.
+	ErrXDev = errors.New("cross-device link")
+)
 
 // Whence values for Seek.
 const (
@@ -38,9 +63,10 @@ type Stat struct {
 
 // DirEnt is one directory entry.
 type DirEnt struct {
-	Name  string
-	IsDir bool
-	Size  int64
+	Name   string
+	IsDir  bool
+	IsLink bool
+	Size   int64
 }
 
 // Handle represents a spawned child process.
@@ -80,6 +106,11 @@ type Proc interface {
 	Unlink(path string) error
 	Rmdir(path string) error
 	Rename(oldPath, newPath string) error
+	Chmod(path string, mode uint32) error
+	// Symlink creates a symbolic link at path pointing to target.
+	// Links resolve when they are the final component of a path;
+	// Unlink and Rename operate on the link itself.
+	Symlink(target, path string) error
 	Sync() error
 
 	// Pipe creates a connected read/write descriptor pair.

@@ -105,6 +105,36 @@ func (x *XN) Read(e *kernel.Env, blocks []disk.BlockNo, pages []mem.PageNo) erro
 			}
 			continue
 		}
+		if en.Uninit {
+			// The block was allocated but its on-disk content never
+			// initialized: whatever lives there belongs to a previous
+			// owner. Serve a zero page without touching the disk — the
+			// UNIX hole contract (reading past what was written sees
+			// zeros) and stale-data containment in one. Uninit stays
+			// set: it describes the *disk*, which is still garbage.
+			x.K.Stats.Inc(sim.CtrCacheHits)
+			if en.Page == mem.NoPage {
+				var p mem.PageNo
+				if pages != nil && i < len(pages) && pages[i] != mem.NoPage {
+					p = pages[i]
+				} else {
+					var err error
+					p, err = x.getPage(e)
+					if err != nil {
+						return err
+					}
+				}
+				en.Page = p
+				x.M.Ref(p)
+			}
+			d := x.M.Data(en.Page)
+			for j := range d {
+				d[j] = 0
+			}
+			en.setState(StateResident)
+			x.touch(en)
+			continue
+		}
 		x.K.Stats.Inc(sim.CtrCacheMisses)
 		if en.Page == mem.NoPage {
 			var p mem.PageNo
