@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race crash fuzz-smoke check bench
+.PHONY: all build fmt vet test race crash fuzz-smoke race-parallel check bench
 
 all: check
 
@@ -33,12 +33,31 @@ crash:
 fuzz-smoke:
 	$(GO) run ./cmd/xok-bench -run difftest -seeds 100
 
+# A short difftest batch fanned across 4 workers under the race
+# detector: the canary for cross-machine shared state. Any package
+# global mutated by two concurrently-running machines surfaces here as
+# a data race (this is how xn's package-level LRU clock was caught).
+race-parallel:
+	$(GO) run -race ./cmd/xok-bench -run difftest -seeds 12 -parallel 4
+
 # The full pre-commit gate: everything compiles, the tree is gofmt
 # clean, vet is clean, the whole suite passes under the race detector
 # (the token-handoff protocol in internal/sim is exactly the kind of
-# code -race exists for), the crash-enumeration sweep re-runs, and the
-# differential fuzz smoke campaign comes back clean.
-check: build fmt vet race crash fuzz-smoke
+# code -race exists for), the parallel harness is race-clean, the
+# crash-enumeration sweep re-runs, and the differential fuzz smoke
+# campaign comes back clean.
+check: build fmt vet race race-parallel crash fuzz-smoke
 
+# Wall-clock benchmark baseline, committed as BENCH_sim.json so engine
+# or harness regressions show up as a diff. Two tiers: the engine
+# micro-benchmarks run at the default benchtime (they are the ns/op +
+# allocs/op numbers the fast path is judged on); the end-to-end
+# experiment benchmarks (MAB, difftest serial-vs-parallel, crash
+# serial-vs-parallel) each run their full campaign once, -benchtime=1x.
+# Raw `go test` output passes through on stderr; stdout carries the
+# JSON (see cmd/benchjson).
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	@{ $(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem ./internal/sim/ && \
+	   $(GO) test -run '^$$' -bench 'BenchmarkMAB$$|BenchmarkDifftest100|BenchmarkCrashSweep' -benchmem -benchtime=1x . ; } \
+	  | $(GO) run ./cmd/benchjson > BENCH_sim.json
+	@echo "wrote BENCH_sim.json"

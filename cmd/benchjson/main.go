@@ -1,0 +1,116 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// stable JSON document on stdout, so benchmark baselines can be
+// committed (BENCH_sim.json) and diffed in review instead of eyeballed
+// in scrollback.
+//
+//	go test -bench=. -benchmem ./... | go run ./cmd/benchjson > BENCH_sim.json
+//
+// Parsed per benchmark line: the run count plus every "value unit"
+// metric pair — the standard ns/op, B/op, allocs/op and any custom
+// b.ReportMetric units (vsec/system, usec/call, ...). Header lines
+// (goos/goarch/cpu) become the "host" block. Everything else passes
+// through to stderr untouched so failures stay visible in the pipe.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name has the -cpu suffix stripped: BenchmarkFoo-4 -> BenchmarkFoo.
+	Name string `json:"name"`
+	// Runs is b.N — how many iterations the timing averages over.
+	Runs int64 `json:"runs"`
+	// Metrics maps unit -> value, e.g. {"ns/op": 57.3, "allocs/op": 0}.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the whole document.
+type Report struct {
+	// Host pins the hardware/toolchain the numbers were taken on.
+	Host map[string]string `json:"host"`
+	// Benchmarks appear in input order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	rep := Report{Host: map[string]string{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if b, ok := parseBench(line); ok {
+			rep.Benchmarks = append(rep.Benchmarks, b)
+			continue
+		}
+		if k, v, ok := parseHeader(line); ok {
+			rep.Host[k] = v
+			continue
+		}
+		// PASS/FAIL/ok lines and test noise: keep them on stderr so a
+		// failing pipeline is still diagnosable.
+		fmt.Fprintln(os.Stderr, line)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: write: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseHeader matches the `go test -bench` preamble: "goos: linux",
+// "goarch: amd64", "pkg: xok", "cpu: ...". pkg is skipped — one
+// report spans several packages.
+func parseHeader(line string) (key, val string, ok bool) {
+	for _, k := range []string{"goos", "goarch", "cpu"} {
+		if rest, found := strings.CutPrefix(line, k+": "); found {
+			return k, strings.TrimSpace(rest), true
+		}
+	}
+	return "", "", false
+}
+
+// parseBench matches a result line:
+//
+//	BenchmarkEngineStepAfter16-4   20000000   57.3 ns/op   0 B/op   0 allocs/op
+//
+// i.e. name, b.N, then (value, unit) pairs.
+func parseBench(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") || len(f)%2 != 0 {
+		return Benchmark{}, false
+	}
+	runs, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: f[0], Runs: runs, Metrics: map[string]float64{}}
+	if i := strings.LastIndexByte(b.Name, '-'); i > 0 {
+		if _, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name = b.Name[:i]
+		}
+	}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[f[i+1]] = v
+	}
+	return b, true
+}

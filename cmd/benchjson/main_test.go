@@ -1,0 +1,57 @@
+package main
+
+import "testing"
+
+func TestParseBench(t *testing.T) {
+	b, ok := parseBench("BenchmarkEngineStepAfter16-4   \t20000000\t        57.3 ns/op\t       0 B/op\t       0 allocs/op")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if b.Name != "BenchmarkEngineStepAfter16" {
+		t.Fatalf("name %q (cpu suffix must be stripped)", b.Name)
+	}
+	if b.Runs != 20000000 {
+		t.Fatalf("runs %d", b.Runs)
+	}
+	want := map[string]float64{"ns/op": 57.3, "B/op": 0, "allocs/op": 0}
+	for unit, v := range want {
+		if b.Metrics[unit] != v {
+			t.Fatalf("metric %s = %v, want %v", unit, b.Metrics[unit], v)
+		}
+	}
+}
+
+func TestParseBenchCustomMetric(t *testing.T) {
+	b, ok := parseBench("BenchmarkMAB-8 1 1234567 ns/op 9.41 vsec/xok")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if b.Metrics["vsec/xok"] != 9.41 {
+		t.Fatalf("custom metric lost: %v", b.Metrics)
+	}
+}
+
+func TestParseBenchRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  \txok\t12.3s",
+		"goos: linux",
+		"BenchmarkBroken-4 notanumber 1 ns/op",
+		"--- FAIL: BenchmarkX",
+		"BenchmarkOdd-4 10 57.3", // dangling value without unit
+	} {
+		if _, ok := parseBench(line); ok {
+			t.Fatalf("noise line parsed as benchmark: %q", line)
+		}
+	}
+}
+
+func TestParseHeader(t *testing.T) {
+	k, v, ok := parseHeader("cpu: AMD EPYC 7B13")
+	if !ok || k != "cpu" || v != "AMD EPYC 7B13" {
+		t.Fatalf("got %q=%q ok=%v", k, v, ok)
+	}
+	if _, _, ok := parseHeader("pkg: xok"); ok {
+		t.Fatal("pkg line must not become a host key")
+	}
+}

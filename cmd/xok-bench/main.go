@@ -45,6 +45,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"xok/internal/apps"
 	"xok/internal/cap"
@@ -55,6 +56,7 @@ import (
 	"xok/internal/kernel"
 	"xok/internal/machine"
 	"xok/internal/ostest"
+	"xok/internal/parallel"
 	"xok/internal/sim"
 	"xok/internal/trace"
 	"xok/internal/unix"
@@ -62,25 +64,30 @@ import (
 )
 
 var (
-	runFlag    = flag.String("run", "all", "experiment to run (all, figure2, mab, protection, table2, figure3, figure4, figure5, emulator, xcp, crash, difftest)")
-	fullFlag   = flag.Bool("full", false, "run Figures 4/5 at full size (35 jobs); slower")
-	traceFlag  = flag.String("trace", "", "write a Chrome trace_event JSON timeline of every simulated machine to this file")
-	histFlag   = flag.Bool("hist", false, "print per-machine latency histograms (p50/p90/p99) after the experiments")
-	faultsFlag = flag.String("faults", "", "fault plan as seed[:spec], e.g. 42:torn,loss=50 (see internal/fault); used by -run crash and -run difftest")
-	seedsFlag  = flag.Int("seeds", 200, "difftest: number of generated programs")
-	stepsFlag  = flag.Int("steps", 60, "difftest: syscalls per generated program")
-	baseFlag   = flag.Uint64("base", 1, "difftest: first seed (seed i = base+i)")
-	replayFlag = flag.String("replay", "", "difftest: replay one seed:steps:keep token instead of fuzzing")
+	runFlag      = flag.String("run", "all", "experiment to run (all, figure2, mab, protection, table2, figure3, figure4, figure5, emulator, xcp, crash, difftest)")
+	fullFlag     = flag.Bool("full", false, "run Figures 4/5 at full size (35 jobs); slower")
+	traceFlag    = flag.String("trace", "", "write a Chrome trace_event JSON timeline of every simulated machine to this file")
+	histFlag     = flag.Bool("hist", false, "print per-machine latency histograms (p50/p90/p99) after the experiments")
+	faultsFlag   = flag.String("faults", "", "fault plan as seed[:spec], e.g. 42:torn,loss=50 (see internal/fault); used by -run crash and -run difftest")
+	seedsFlag    = flag.Int("seeds", 200, "difftest: number of generated programs")
+	stepsFlag    = flag.Int("steps", 60, "difftest: syscalls per generated program")
+	baseFlag     = flag.Uint64("base", 1, "difftest: first seed (seed i = base+i)")
+	replayFlag   = flag.String("replay", "", "difftest: replay one seed:steps:keep token instead of fuzzing")
+	parallelFlag = flag.Int("parallel", 0, "worker count for independent simulated machines (0 = one per CPU, 1 = serial); stdout is byte-identical at any setting")
 )
+
+// bench carries the shared experiment knobs: the optional trace sink
+// (fed by per-leg tracers, merged in presentation order) and the
+// resolved worker count.
+var bench core.Bench
 
 func main() {
 	flag.Parse()
-	// Install the default tracer before any machine boots; every
-	// kernel.New picks it up and registers itself as a trace process.
+	bench.Parallel = parallel.Workers(*parallelFlag)
 	var tr *trace.Tracer
 	if *traceFlag != "" || *histFlag {
 		tr = trace.New()
-		trace.SetDefault(tr)
+		bench.Trace = tr
 	}
 	defer dumpTrace(tr)
 	experiments := map[string]func(){
@@ -99,7 +106,7 @@ func main() {
 	order := []string{"figure2", "mab", "protection", "table2", "emulator", "xcp", "crash", "difftest", "figure3", "figure4", "figure5"}
 	if *runFlag == "all" {
 		for _, name := range order {
-			experiments[name]()
+			timed(name, experiments[name])
 		}
 		return
 	}
@@ -109,7 +116,19 @@ func main() {
 			*runFlag, strings.Join(order, ", "))
 		os.Exit(2)
 	}
+	timed(*runFlag, fn)
+}
+
+// timed wraps one experiment with a wall-clock summary: host seconds
+// spent and virtual cycles simulated (summed across every machine the
+// experiment ran, on all workers). The line goes to stderr so stdout —
+// the tables — stays byte-identical across runs and -parallel values.
+func timed(name string, fn func()) {
+	hostStart := time.Now()
+	simStart := sim.CyclesSimulated()
 	fn()
+	fmt.Fprintf(os.Stderr, "# %-10s %8.2fs host, %d cycles simulated\n",
+		name, time.Since(hostStart).Seconds(), sim.CyclesSimulated()-simStart)
 }
 
 // dumpTrace flushes the tracer's output after the experiments: the
@@ -154,7 +173,7 @@ func header(title string) {
 func figure2() {
 	header("Figure 2 / Table 1 — I/O-intensive workload (lcc install)")
 	fmt.Println("paper totals: Xok/ExOS 41s, OpenBSD/C-FFS 51s, OpenBSD 60s, FreeBSD 59s")
-	results, err := core.RunFigure2()
+	results, err := bench.Figure2()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -180,7 +199,7 @@ func figure2() {
 func mab() {
 	header("Modified Andrew Benchmark (Section 6.2)")
 	fmt.Println("paper totals: Xok/ExOS 11.5s, OpenBSD/C-FFS 12.5s, OpenBSD 14.2s, FreeBSD 11.5s")
-	results, err := core.RunMAB()
+	results, err := bench.MAB()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -206,7 +225,7 @@ func mab() {
 func protection() {
 	header("Cost of protection (Section 6.3)")
 	fmt.Println("paper: 41.1s -> 39.7s; system calls 300,000 -> 81,000")
-	res, err := core.RunProtectionCost()
+	res, err := bench.ProtectionCost()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -221,7 +240,7 @@ func protection() {
 func table2() {
 	header("Table 2 — pipe latency (microseconds)")
 	fmt.Println("paper: shared 13/150, protection 30/148, OpenBSD 34/160 (1B / 8KB)")
-	rows, err := core.RunTable2()
+	rows, err := bench.Table2()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -234,7 +253,7 @@ func table2() {
 func figure3() {
 	header("Figure 3 — HTTP document throughput (requests/second)")
 	fmt.Println("paper: Cheetah up to 8x the best BSD server; 29.3 MB/s at 100KB (network-limited)")
-	results, err := core.RunFigure3(24, 300*sim.Millisecond)
+	results, err := bench.Figure3(24, 300*sim.Millisecond)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -263,11 +282,12 @@ func globalPerf(title string, pool []workload.JobKind) {
 	fmt.Printf("\n%-8s %28s %28s\n", "", "Xok/ExOS", "FreeBSD")
 	fmt.Printf("%-8s %10s %8s %8s %10s %8s %8s\n",
 		"jobs/conc", "total", "max", "min", "total", "max", "min")
-	for _, cell := range cells {
-		x, f, err := core.RunGlobal(pool, cell, 1234)
-		if err != nil {
-			log.Fatal(err)
-		}
+	rows, err := bench.GlobalSweep(pool, cells, 1234)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, cell := range cells {
+		x, f := rows[i][0], rows[i][1]
 		fmt.Printf("%3d/%-4d %10v %8v %8v %10v %8v %8v\n",
 			cell.TotalJobs, cell.MaxConc,
 			x.Total, x.Max, x.Min, f.Total, f.Max, f.Min)
@@ -278,8 +298,10 @@ func emulator() {
 	header("OpenBSD binary emulation (Section 7.1)")
 	fmt.Println("paper: getpid 270 cycles on OpenBSD, 100 cycles emulated on Xok/ExOS")
 
-	// Emulated getpid on Xok/ExOS (reroute + ExOS library call).
-	sys := machine.MustNew(machine.Config{Personality: machine.XokExOS})
+	// Emulated getpid on Xok/ExOS (reroute + ExOS library call). These
+	// machines run sequentially in this goroutine, so they may share
+	// the main trace sink directly.
+	sys := machine.MustNew(machine.Config{Personality: machine.XokExOS, Trace: bench.Trace})
 	var emulated sim.Time
 	sys.SpawnProc("emu", 0, func(p unix.Proc) {
 		ep := emulateGetpid(p)
@@ -293,7 +315,7 @@ func emulator() {
 	})
 	sys.Run()
 
-	bsd := machine.MustNew(machine.Config{Personality: machine.OpenBSD})
+	bsd := machine.MustNew(machine.Config{Personality: machine.OpenBSD, Trace: bench.Trace})
 	native := ostest.GetpidCost(machine.Runner(bsd))
 	fmt.Printf("\ngetpid: native OpenBSD %d cycles, emulated on Xok/ExOS %d cycles\n",
 		native, emulated)
@@ -316,6 +338,7 @@ func diffFuzz() {
 		Steps:    *stepsFlag,
 		BaseSeed: *baseFlag,
 		Log:      os.Stdout,
+		Parallel: bench.Parallel,
 	}
 	if *faultsFlag != "" {
 		plan, err := fault.Parse(*faultsFlag)
@@ -364,7 +387,7 @@ func crash() {
 	header("Crash-point enumeration (Section 4.4 recovery)")
 	fmt.Println("paper: XN's reachability scan rebuilds the free map after any crash;")
 	fmt.Println("C-FFS metadata stays consistent without ordered cleanup")
-	cfg := workload.CrashConfig{}
+	cfg := workload.CrashConfig{Parallel: bench.Parallel}
 	if *faultsFlag != "" {
 		plan, err := fault.Parse(*faultsFlag)
 		if err != nil {
@@ -409,7 +432,8 @@ func xcp() {
 func xcpOnce(cold bool) (cpT, xcpT sim.Time) {
 	const n, size = 8, 400_000
 	stage := func() (*exos.System, [][2]string) {
-		s := machine.MustNew(machine.Config{Personality: machine.XokExOS}).(machine.Xok).S
+		// Serial machines; the shared sink is safe here (see emulator).
+		s := machine.MustNew(machine.Config{Personality: machine.XokExOS, Trace: bench.Trace}).(machine.Xok).S
 		pairs := make([][2]string, n)
 		s.Spawn("stage", 0, func(p unix.Proc) {
 			fds := make([]unix.FD, n)

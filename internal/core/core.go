@@ -13,13 +13,9 @@
 package core
 
 import (
-	"fmt"
-
 	"xok/internal/bsdos"
 	"xok/internal/exos"
 	"xok/internal/httpd"
-	"xok/internal/machine"
-	"xok/internal/ostest"
 	"xok/internal/sim"
 	"xok/internal/workload"
 )
@@ -39,35 +35,21 @@ func BootBSD(v bsdos.Variant) *bsdos.System {
 }
 
 // RunFigure2 executes the I/O-intensive lcc-install workload (Table 1)
-// on the four systems of Figure 2, in the paper's order.
+// on the four systems of Figure 2, in the paper's order. (The Run*
+// functions are serial, untraced conveniences; Bench adds a worker
+// pool and a trace sink with identical results.)
 func RunFigure2() ([]workload.IOResult, error) {
-	var out []workload.IOResult
-	for _, m := range workload.AllSystems() {
-		r, err := workload.IOIntensive(m)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return (&Bench{}).Figure2()
 }
 
 // RunMAB executes the Modified Andrew Benchmark on the four systems.
 func RunMAB() ([]workload.MABResult, error) {
-	var out []workload.MABResult
-	for _, m := range workload.AllSystems() {
-		r, err := workload.MAB(m)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return (&Bench{}).MAB()
 }
 
 // RunProtectionCost executes the Section 6.3 experiment.
 func RunProtectionCost() (workload.ProtectionResult, error) {
-	return workload.ProtectionCost()
+	return (&Bench{}).ProtectionCost()
 }
 
 // Table2Row is one pipe implementation's latencies.
@@ -81,47 +63,13 @@ type Table2Row struct {
 // shared-memory ExOS pipes, protected ExOS pipes (software regions +
 // wakeup predicates), and OpenBSD's in-kernel pipes.
 func RunTable2() ([]Table2Row, error) {
-	const rounds = 200
-	sharedRun := machine.Runner(machine.MustNew(machine.Config{
-		Personality: machine.XokExOS, SharedMemPipes: true}))
-	protRun := machine.Runner(machine.MustNew(machine.Config{Personality: machine.XokExOS}))
-	bsdRun := machine.Runner(machine.MustNew(machine.Config{Personality: machine.OpenBSD}))
-
-	rows := []Table2Row{
-		{
-			Impl:   "Shared memory",
-			Lat1B:  ostest.PipeLatency(sharedRun, 1, rounds),
-			Lat8KB: ostest.PipeLatency(sharedRun, 8192, rounds),
-		},
-		{
-			Impl:   "Protection",
-			Lat1B:  ostest.PipeLatency(protRun, 1, rounds),
-			Lat8KB: ostest.PipeLatency(protRun, 8192, rounds),
-		},
-		{
-			Impl:   "OpenBSD",
-			Lat1B:  ostest.PipeLatency(bsdRun, 1, rounds),
-			Lat8KB: ostest.PipeLatency(bsdRun, 8192, rounds),
-		},
-	}
-	for _, r := range rows {
-		if r.Lat1B == 0 || r.Lat8KB == 0 {
-			return nil, fmt.Errorf("core: pipe measurement failed for %s", r.Impl)
-		}
-	}
-	return rows, nil
+	return (&Bench{}).Table2()
 }
 
 // RunFigure3 measures HTTP throughput for all five servers across the
 // document sizes of Figure 3.
 func RunFigure3(clients int, duration sim.Time) ([]httpd.Result, error) {
-	if clients == 0 {
-		clients = 24
-	}
-	if duration == 0 {
-		duration = 300 * sim.Millisecond
-	}
-	return httpd.Figure3(clients, duration)
+	return (&Bench{}).Figure3(clients, duration)
 }
 
 // GlobalCell is one number/number cell of Figures 4 and 5.
@@ -138,12 +86,11 @@ func Figure45Cells() []GlobalCell {
 // RunGlobal runs one global-performance cell on both Xok/ExOS and
 // FreeBSD (the figures' two systems), with the identical seed.
 func RunGlobal(pool []workload.JobKind, cell GlobalCell, seed uint64) (xok, fbsd workload.GlobalResult, err error) {
-	xok, err = workload.GlobalPerf(workload.NewXok(), pool, cell.TotalJobs, cell.MaxConc, seed)
+	rows, err := (&Bench{}).GlobalSweep(pool, []GlobalCell{cell}, seed)
 	if err != nil {
 		return
 	}
-	fbsd, err = workload.GlobalPerf(workload.NewBSD(bsdos.FreeBSD), pool, cell.TotalJobs, cell.MaxConc, seed)
-	return
+	return rows[0][0], rows[0][1], nil
 }
 
 // Pool1 re-exports Figure 4's job mix.

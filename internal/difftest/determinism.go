@@ -1,6 +1,9 @@
 package difftest
 
-import "xok/internal/machine"
+import (
+	"xok/internal/machine"
+	"xok/internal/parallel"
+)
 
 // Determinism mode: the same program runs twice on the same
 // personality — under a cloned fault plan when one is armed — and the
@@ -18,23 +21,52 @@ import "xok/internal/machine"
 // is cloned per run and must land identically.
 
 func fuzzDeterminism(o *Options) (*Divergence, error) {
-	for i := 0; i < o.Seeds; i++ {
+	// One unit of fanned-out work = one seed across every personality
+	// (the per-seed inner loop stays serial inside the worker, matching
+	// the order a serial campaign checks personalities in).
+	type seedResult struct {
+		div  *Divergence
+		pers machine.Personality
+		err  error
+	}
+	var (
+		firstErr error
+		firstDiv *Divergence
+		divPers  machine.Personality
+		divSeed  uint64
+	)
+	parallel.Stream(o.workers(), o.Seeds, func(i int) seedResult {
 		seed := o.BaseSeed + uint64(i)
 		steps := Generate(seed, o.Steps)
 		keep := allSteps(len(steps))
 		for _, pers := range o.Personalities {
 			div, err := o.determinismOnce(pers, seed, steps, keep)
-			if err != nil {
-				return nil, err
+			if err != nil || div != nil {
+				return seedResult{div, pers, err}
 			}
-			if div != nil {
-				o.logf("seed %d: nondeterminism on %s — shrinking", seed, div.A)
-				return o.shrinkDeterminism(pers, seed, steps, div)
-			}
+		}
+		return seedResult{}
+	}, func(i int, r seedResult) bool {
+		seed := o.BaseSeed + uint64(i)
+		if r.err != nil {
+			firstErr = r.err
+			return false
+		}
+		if r.div != nil {
+			o.logf("seed %d: nondeterminism on %s — shrinking", seed, r.div.A)
+			firstDiv, divPers, divSeed = r.div, r.pers, seed
+			return false
 		}
 		if (i+1)%50 == 0 {
 			o.logf("%d/%d seeds deterministic", i+1, o.Seeds)
 		}
+		return true
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if firstDiv != nil {
+		return o.shrinkDeterminism(divPers, divSeed, Generate(divSeed, o.Steps), firstDiv)
 	}
 	return nil, nil
 }

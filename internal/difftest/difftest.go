@@ -31,6 +31,7 @@ import (
 	"xok/internal/cffs"
 	"xok/internal/fault"
 	"xok/internal/machine"
+	"xok/internal/parallel"
 	"xok/internal/sim"
 	"xok/internal/trace"
 	"xok/internal/unix"
@@ -57,6 +58,13 @@ type Options struct {
 	// Log receives one-line progress; nil = silent.
 	Log io.Writer
 
+	// Parallel is the worker count for the per-seed fan-out; <= 1 runs
+	// fully serially. Each seed's machines boot and run on one worker
+	// goroutine while results are consumed — logged, compared, shrunk —
+	// strictly in seed order, so the campaign's output (and the
+	// divergence it finds, if any) is identical at every worker count.
+	Parallel int
+
 	// DiskBlocks/MemPages size the machines (0 = 16384 / 2048 — small
 	// keeps a 500-seed run fast).
 	DiskBlocks int64
@@ -64,7 +72,9 @@ type Options struct {
 
 	// mutate, when set, rewrites a recorded outcome — the mutation-test
 	// hook: tests inject a fake divergence on one personality and
-	// assert the harness catches, shrinks and replays it.
+	// assert the harness catches, shrinks and replays it. It is called
+	// from worker goroutines when Parallel > 1, so it must be a pure
+	// function of its arguments.
 	mutate func(personality string, step int, out string) string
 }
 
@@ -515,27 +525,67 @@ func allSteps(n int) []int {
 // found — already shrunk, with its replay token — or nil if every seed
 // agreed. Infrastructure errors (a personality failing to boot) are
 // returned as err.
+//
+// Seeds are independent (each boots fresh machines), so with
+// opt.Parallel > 1 they fan out across a worker pool; logging,
+// first-divergence selection and shrinking all happen in seed order in
+// the calling goroutine, keeping the output byte-identical to a
+// serial run.
 func Fuzz(opt Options) (*Divergence, error) {
 	o := opt.Defaults()
 	if o.Faults != nil {
 		return fuzzDeterminism(&o)
 	}
-	for i := 0; i < o.Seeds; i++ {
+	type seedResult struct {
+		div *Divergence
+		err error
+	}
+	var (
+		firstErr error
+		firstDiv *Divergence
+		divSeed  uint64
+	)
+	parallel.Stream(o.workers(), o.Seeds, func(i int) seedResult {
 		seed := o.BaseSeed + uint64(i)
 		steps := Generate(seed, o.Steps)
 		div, err := o.diffOnce(seed, steps, allSteps(len(steps)))
-		if err != nil {
-			return nil, err
+		return seedResult{div, err}
+	}, func(i int, r seedResult) bool {
+		seed := o.BaseSeed + uint64(i)
+		if r.err != nil {
+			firstErr = r.err
+			return false
 		}
-		if div != nil {
-			o.logf("seed %d: divergence (%s vs %s) — shrinking", seed, div.A, div.B)
-			return o.shrinkDivergence(seed, steps, div)
+		if r.div != nil {
+			o.logf("seed %d: divergence (%s vs %s) — shrinking", seed, r.div.A, r.div.B)
+			firstDiv, divSeed = r.div, seed
+			return false
 		}
 		if (i+1)%50 == 0 {
 			o.logf("%d/%d seeds clean", i+1, o.Seeds)
 		}
+		return true
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if firstDiv != nil {
+		// Shrinking bisects one program repeatedly — inherently serial.
+		return o.shrinkDivergence(divSeed, Generate(divSeed, o.Steps), firstDiv)
 	}
 	return nil, nil
+}
+
+// workers resolves Options.Parallel for parallel.Stream: difftest
+// treats values <= 1 (including the zero value) as serial so existing
+// callers keep their exact behavior; explicit counts pass through.
+// Callers wanting "one worker per CPU" resolve it themselves with
+// parallel.Workers(0), as cmd/xok-bench does for its -parallel flag.
+func (o *Options) workers() int {
+	if o.Parallel <= 1 {
+		return 1
+	}
+	return o.Parallel
 }
 
 // diffOnce runs one program (the kept subset) on every personality and

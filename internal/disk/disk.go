@@ -57,6 +57,12 @@ type Request struct {
 	svcStart sim.Time // when the spindle began servicing this request
 	seekT    sim.Time // seek component of the service time
 	rotT     sim.Time // rotational-latency component
+
+	// Completion routing for the allocation-free timer path: set by
+	// startNext so the package-level completeArg callback can find its
+	// way back without a per-request closure.
+	svcDisk *Disk
+	svcSp   *spindle
 }
 
 // spindle is one physical drive: its own head, queue and service
@@ -386,7 +392,16 @@ func (d *Disk) startNext(sp *spindle) {
 	sp.cur = r
 	r.svcStart = d.eng.Now()
 	t := d.serviceTime(sp, r)
-	d.eng.After(t, func() { d.complete(sp, r) })
+	r.svcDisk, r.svcSp = d, sp
+	d.eng.AfterArg(t, completeArg, r)
+}
+
+// completeArg is the completion timer callback in sim.Engine's
+// allocation-free AfterArg form (disk transfers are the simulator's
+// highest-volume timer source after the scheduler).
+func completeArg(a any) {
+	r := a.(*Request)
+	r.svcDisk.complete(r.svcSp, r)
 }
 
 func (d *Disk) complete(sp *spindle, r *Request) {

@@ -23,6 +23,7 @@ import (
 	"xok/internal/kernel"
 	"xok/internal/netsim"
 	"xok/internal/sim"
+	"xok/internal/trace"
 	"xok/internal/xio"
 )
 
@@ -114,15 +115,18 @@ type Result struct {
 const nDocs = 16
 
 // Measure runs one server at one document size for the given virtual
-// duration with `clients` closed-loop clients.
-func Measure(kind Kind, docSize, clients int, duration sim.Time) (Result, error) {
+// duration with `clients` closed-loop clients. tr, when non-nil,
+// receives the machine's spans and histograms; it must not be shared
+// with a machine running concurrently (internal/parallel callers pass
+// a fresh tracer per leg and merge afterwards).
+func Measure(kind Kind, docSize, clients int, duration sim.Time, tr *trace.Tracer) (Result, error) {
 	var k *kernel.Kernel
 	var fs *cffs.FS
 	if kind.onXok() {
-		s := exos.Boot(exos.Config{})
+		s := exos.Boot(exos.Config{Trace: tr})
 		k, fs = s.K, s.FS
 	} else {
-		s := bsdos.Boot(bsdos.OpenBSD, bsdos.Config{})
+		s := bsdos.Boot(bsdos.OpenBSD, bsdos.Config{Trace: tr})
 		k, fs = s.K, s.FS
 	}
 
@@ -260,12 +264,13 @@ func makeHandler(kind Kind, fs *cffs.FS) netsim.Handler {
 // Figure3Sizes are the x-axis document sizes.
 var Figure3Sizes = []int{0, 100, 1024, 10240, 102400}
 
-// Figure3 measures every server at every size.
+// Figure3 measures every server at every size, serially and untraced
+// (core.Bench.Figure3 is the parallel, traceable entry point).
 func Figure3(clients int, duration sim.Time) ([]Result, error) {
 	var out []Result
 	for _, kind := range Kinds() {
 		for _, size := range Figure3Sizes {
-			r, err := Measure(kind, size, clients, duration)
+			r, err := Measure(kind, size, clients, duration, nil)
 			if err != nil {
 				return nil, fmt.Errorf("%v@%d: %w", kind, size, err)
 			}

@@ -46,10 +46,11 @@ type Env struct {
 
 	resume    chan bool
 	burst     sim.Time // CPU cycles owed before code continues
+	grant     sim.Time // size of the in-flight burn slice (see burnGrantArg)
 	cpuUsed   sim.Time // lifetime CPU consumed (accounting)
 	sliceLeft sim.Time
 	pred      *wkpred.Pred
-	timeout   *sim.Event
+	timeout   sim.Event
 
 	inCritical bool
 	exitWait   []*Env // environments waiting for this one to exit
@@ -165,7 +166,7 @@ func (e *Env) SleepOn(p *wkpred.Pred, deadline sim.Time) {
 	if deadline > 0 {
 		d := deadline
 		e.timeout = e.k.Eng.At(d, func() {
-			e.timeout = nil
+			e.timeout = sim.Event{}
 			e.k.kickDispatch()
 		})
 	}
@@ -237,7 +238,7 @@ func (e *Env) EndCritical() {
 func (e *Env) Sleep(d sim.Time) {
 	target := e.k.Eng.Now() + d
 	e.timeout = e.k.Eng.At(target, func() {
-		e.timeout = nil
+		e.timeout = sim.Event{}
 		e.k.makeRunnable(e)
 	})
 	e.park(parkMsg{env: e, kind: parkBlock})

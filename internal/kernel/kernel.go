@@ -45,10 +45,11 @@ type Config struct {
 	Spindles   int
 	StripeUnit int64
 
-	// Trace attaches an observability tracer to this machine. When nil
-	// the package default (trace.Default, installed by tools like
-	// cmd/xok-bench -trace) is used; if that is nil too, tracing is
-	// off and costs nothing.
+	// Trace attaches an observability tracer to this machine. Nil —
+	// the default — turns tracing off at the cost of one nil check
+	// per record point. The tracer is per-machine state: machines
+	// running concurrently must not share one (merge per-machine
+	// tracers afterwards with trace.Tracer.Merge).
 	Trace *trace.Tracer
 
 	// Faults attaches a deterministic fault plan (internal/fault): the
@@ -125,9 +126,6 @@ func New(cfg Config) *Kernel {
 		k.Disk = disk.New(eng, st, cfg.DiskSize, opts...)
 	}
 	tr := cfg.Trace
-	if tr == nil {
-		tr = trace.Default()
-	}
 	if tr.Enabled() {
 		k.Trace = tr
 		k.TracePID = tr.AddProcess(cfg.Name)
@@ -219,9 +217,9 @@ func (k *Kernel) makeRunnable(e *Env) {
 	}
 	e.state = envRunnable
 	e.pred = nil
-	if e.timeout != nil {
+	if e.timeout.Pending() {
 		k.Eng.Cancel(e.timeout)
-		e.timeout = nil
+		e.timeout = sim.Event{}
 	}
 	// Remove from sleepers if present.
 	for i, s := range k.sleeprs {
@@ -240,11 +238,20 @@ func (k *Kernel) kickDispatch() {
 		return
 	}
 	k.dispatchPending = true
-	k.Eng.At(k.Eng.Now(), func() {
-		k.dispatchPending = false
-		k.dispatch()
-	})
+	k.Eng.AfterArg(0, kickDispatchArg, k)
 }
+
+// kickDispatchArg and dispatchArg are the scheduler's timer callbacks
+// in sim.Engine's allocation-free AfterArg form: one package-level
+// func each, the kernel passed through arg, no closure allocated per
+// context switch.
+func kickDispatchArg(a any) {
+	k := a.(*Kernel)
+	k.dispatchPending = false
+	k.dispatch()
+}
+
+func dispatchArg(a any) { a.(*Kernel).dispatch() }
 
 // dispatch is the scheduler: wake satisfied predicate sleepers, then
 // run the next environment.
@@ -307,16 +314,8 @@ func (k *Kernel) step(e *Env) {
 			k.rotate(e)
 			return
 		}
-		k.Eng.After(grant, func() {
-			e.burst -= grant
-			e.cpuUsed += grant
-			if e.sliceLeft >= grant {
-				e.sliceLeft -= grant
-			} else {
-				e.sliceLeft = 0
-			}
-			k.step(e)
-		})
+		e.grant = grant
+		k.Eng.AfterArg(grant, burnGrantArg, e)
 		return
 	}
 	if e.sliceLeft == 0 && !e.inCritical {
@@ -340,7 +339,24 @@ func (k *Kernel) rotate(e *Env) {
 	k.current = nil
 	e.state = envRunnable
 	k.runq = append(k.runq, e)
-	k.Eng.After(sim.CostContextSwitch+sim.CostUpcall, func() { k.dispatch() })
+	k.Eng.AfterArg(sim.CostContextSwitch+sim.CostUpcall, dispatchArg, k)
+}
+
+// burnGrantArg finishes one CPU burn slice for the environment in arg
+// (the grant was stashed in e.grant by step; only one burn event can
+// be outstanding per environment, because its code is parked while the
+// scheduler burns its cycles).
+func burnGrantArg(a any) {
+	e := a.(*Env)
+	grant := e.grant
+	e.burst -= grant
+	e.cpuUsed += grant
+	if e.sliceLeft >= grant {
+		e.sliceLeft -= grant
+	} else {
+		e.sliceLeft = 0
+	}
+	e.k.step(e)
 }
 
 // resume hands the token to e's goroutine and processes the park
@@ -369,7 +385,7 @@ func (k *Kernel) handlePark(msg parkMsg) {
 			k.Trace.Span(k.TracePID, e.TraceLane(), "kernel", "ctx-switch",
 				now, now+sim.CostContextSwitch)
 		}
-		k.Eng.After(sim.CostContextSwitch, func() { k.dispatch() })
+		k.Eng.AfterArg(sim.CostContextSwitch, dispatchArg, k)
 	case parkYieldTo:
 		k.current = nil
 		e.state = envRunnable
@@ -384,7 +400,7 @@ func (k *Kernel) handlePark(msg parkMsg) {
 				}
 			}
 		}
-		k.Eng.After(sim.CostYieldDirected, func() { k.dispatch() })
+		k.Eng.AfterArg(sim.CostYieldDirected, dispatchArg, k)
 	case parkExit:
 		k.current = nil
 		e.state = envDead
@@ -396,7 +412,7 @@ func (k *Kernel) handlePark(msg parkMsg) {
 			}
 			e.exitWait = nil
 		}
-		k.Eng.After(sim.CostContextSwitch, func() { k.dispatch() })
+		k.Eng.AfterArg(sim.CostContextSwitch, dispatchArg, k)
 	}
 }
 

@@ -62,27 +62,26 @@ func TestTracingWiring(t *testing.T) {
 	}
 }
 
-// TestTracingDefaultPickup checks kernel.New adopts the package
-// default tracer when none is configured, and that machines built with
-// tracing fully off carry zero tracer state.
-func TestTracingDefaultPickup(t *testing.T) {
+// TestTracingConfigOnly checks the tracer is pure per-machine config:
+// a machine built without one carries zero tracer state (there is no
+// package-global tracer to pick up), and a configured tracer on one
+// machine never sees another machine's activity.
+func TestTracingConfigOnly(t *testing.T) {
 	tr := trace.New()
-	trace.SetDefault(tr)
-	defer trace.SetDefault(nil)
-	k := New(Config{Name: "via-default", MemPages: 64})
-	if k.Trace != tr {
-		t.Fatal("default tracer not picked up")
-	}
+	k := New(Config{Name: "traced", MemPages: 64, Trace: tr})
+	k.Spawn("w", func(e *Env) { e.Syscall(100) })
+	k.Run()
 
-	trace.SetDefault(nil)
 	k2 := New(Config{Name: "untraced", MemPages: 64})
 	if k2.Trace != nil {
 		t.Fatal("tracer attached with tracing off")
 	}
 	k2.Spawn("w", func(e *Env) { e.Syscall(100) })
 	k2.Run() // must not record or crash
-	if tr.Hist(k.TracePID, "kernel.syscall") != nil {
-		t.Fatal("untraced machine leaked samples into the old tracer")
+
+	h := tr.Hist(k.TracePID, "kernel.syscall")
+	if h == nil || h.Count() != 1 {
+		t.Fatalf("traced machine histogram = %+v, want exactly its own 1 sample", h)
 	}
 }
 

@@ -27,9 +27,9 @@ type Conn struct {
 	got       int // contiguous bytes received
 	gotSynAck bool
 	started   sim.Time
-	tsReq     sim.Time   // when the server began serving the request
-	deadline  sim.Time   // client stops re-sending past this point
-	ctimer    *sim.Event // client retransmission timer
+	tsReq     sim.Time  // when the server began serving the request
+	deadline  sim.Time  // client stops re-sending past this point
+	ctimer    sim.Event // client retransmission timer
 	onDone    func(latency sim.Time)
 	unacked   int // data segments since last client ACK
 	reqDocLen int
@@ -41,7 +41,7 @@ type Conn struct {
 	srvTotal    int
 	srvAcked    int
 	srvDone     bool
-	rto         *sim.Event
+	rto         sim.Event
 }
 
 // clientRTO is the client-side retransmission timeout: shorter than the
@@ -84,10 +84,8 @@ func (c *Conn) clientDeliver(pkt *Packet) {
 		done := c.onDone
 		c.onDone = nil
 		if done != nil {
-			if c.ctimer != nil {
-				c.net.Eng.Cancel(c.ctimer)
-				c.ctimer = nil
-			}
+			c.net.Eng.Cancel(c.ctimer)
+			c.ctimer = sim.Event{}
 			// Final cumulative ACK so the server can retire the
 			// connection.
 			c.sendAck()
@@ -119,11 +117,9 @@ func (c *Conn) sendRequest() {
 // client ACKs that leave both ends waiting. On firing it re-sends
 // whatever the exchange is missing and re-arms.
 func (c *Conn) armTimer() {
-	if c.ctimer != nil {
-		c.net.Eng.Cancel(c.ctimer)
-	}
+	c.net.Eng.Cancel(c.ctimer)
 	c.ctimer = c.net.Eng.After(clientRTO, func() {
-		c.ctimer = nil
+		c.ctimer = sim.Event{}
 		if c.onDone == nil || c.net.Eng.Now() >= c.deadline {
 			return
 		}

@@ -202,11 +202,9 @@ func (s *Stack) sendFrom(c *Conn, from int, first bool) {
 // armRTO schedules the retransmission timer; firing enqueues a marker
 // packet the server loop handles with CPU properly charged.
 func (s *Stack) armRTO(c *Conn) {
-	if c.rto != nil {
-		s.net.Eng.Cancel(c.rto)
-	}
+	s.net.Eng.Cancel(c.rto)
 	c.rto = s.net.Eng.After(RTO, func() {
-		c.rto = nil
+		c.rto = sim.Event{}
 		if c.srvDone || s.net.Eng.Now() >= s.stopAt {
 			return
 		}
@@ -234,10 +232,8 @@ func (s *Stack) retireConn(c *Conn) {
 		tr.Instant(s.net.K.TracePID, c.lane(), "http", "retire", s.net.Eng.Now())
 	}
 	c.srvDone = true
-	if c.rto != nil {
-		s.net.Eng.Cancel(c.rto)
-		c.rto = nil
-	}
+	s.net.Eng.Cancel(c.rto)
+	c.rto = sim.Event{}
 	if c.hasFilter {
 		_ = s.net.DPF.Remove(c.filterID)
 		c.hasFilter = false

@@ -1,0 +1,133 @@
+// Package parallel fans independent simulated-machine runs across OS
+// threads while keeping every observable output identical to a serial
+// run.
+//
+// The simulator's machines are fully self-contained once the tracer is
+// routed through machine.Config: one engine, one kernel, one fault
+// plan, one tracer per machine, touched by exactly one goroutine at a
+// time under the token-handoff protocol. Distinct machines therefore
+// parallelize trivially — the only thing that must NOT parallelize is
+// the *consumption* of their results, because logs, tables, replay
+// tokens and digest comparisons are all order-sensitive.
+//
+// Stream is the primitive that enforces this split: produce(i) calls
+// run concurrently on a bounded worker pool, consume(i, r) runs
+// strictly in index order in the caller's goroutine. A caller that
+// does all its printing and comparing inside consume gets byte-
+// identical output at any worker count, including 1 (which takes a
+// no-goroutine fast path, so serial runs stay exactly as before).
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a requested worker count: n <= 0 selects one
+// worker per available CPU (the -parallel flag's default).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Stream runs produce(i) for i in [0, n) on up to workers goroutines
+// and delivers each result to consume(i, r) strictly in increasing
+// index order, always in the caller's goroutine. consume returning
+// false stops the stream early: no new produce calls start, in-flight
+// ones finish and their results are discarded. workers <= 1 (after
+// Workers normalization callers usually do themselves; Stream treats
+// the value literally except that <= 0 means GOMAXPROCS) runs fully
+// serially with no goroutines, producing and consuming alternately.
+func Stream[R any](workers, n int, produce func(int) R, consume func(int, R) bool) {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if !consume(i, produce(i)) {
+				return
+			}
+		}
+		return
+	}
+
+	type indexed struct {
+		i int
+		r R
+	}
+	out := make(chan indexed, workers)
+	var next atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || stop.Load() {
+					return
+				}
+				out <- indexed{i, produce(i)}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+
+	// Reorder buffer: results arrive in completion order, leave in
+	// index order. Bounded by the worker count (a worker can be at
+	// most one result ahead of the slowest outstanding index).
+	pending := make(map[int]R, workers)
+	ready := make(map[int]bool, workers)
+	want := 0
+	stopped := false
+	for r := range out {
+		pending[r.i] = r.r
+		ready[r.i] = true
+		for ready[want] {
+			v := pending[want]
+			delete(pending, want)
+			delete(ready, want)
+			if !stopped && !consume(want, v) {
+				stopped = true
+				stop.Store(true)
+			}
+			want++
+		}
+	}
+}
+
+// Map runs f(i) for i in [0, n) on up to workers goroutines and
+// returns the n results in index order.
+func Map[R any](workers, n int, f func(int) R) []R {
+	out := make([]R, n)
+	Stream(workers, n, f, func(i int, r R) bool {
+		out[i] = r
+		return true
+	})
+	return out
+}
+
+// MapErr runs f(i) for i in [0, n) on up to workers goroutines and
+// returns the error of the lowest failing index (nil if all succeed).
+// Because failures are observed in index order, the returned error is
+// deterministic regardless of which worker finished first, matching a
+// serial loop that stops at its first error.
+func MapErr(workers, n int, f func(int) error) error {
+	var firstErr error
+	Stream(workers, n, f, func(i int, err error) bool {
+		if err != nil && firstErr == nil {
+			firstErr = err
+			return false // no need to start more; in-flight still finish
+		}
+		return true
+	})
+	return firstErr
+}

@@ -1,0 +1,131 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestStreamOrdered(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		var got []int
+		Stream(workers, 100, func(i int) int {
+			// Finish out of order on purpose.
+			time.Sleep(time.Duration((i%5)*100) * time.Microsecond)
+			return i * i
+		}, func(i, r int) bool {
+			got = append(got, r)
+			return true
+		})
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: consumed %d results, want 100", workers, len(got))
+		}
+		for i, r := range got {
+			if r != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d (out of order)", workers, i, r, i*i)
+			}
+		}
+	}
+}
+
+func TestStreamConsumeInCallerGoroutine(t *testing.T) {
+	// The whole point: consume may touch caller state without locks.
+	sum := 0
+	Stream(8, 1000, func(i int) int { return i }, func(_, r int) bool {
+		sum += r
+		return true
+	})
+	if sum != 1000*999/2 {
+		t.Fatalf("sum = %d, want %d", sum, 1000*999/2)
+	}
+}
+
+func TestStreamEarlyStop(t *testing.T) {
+	var produced atomic.Int64
+	consumed := 0
+	Stream(4, 10_000, func(i int) int {
+		produced.Add(1)
+		return i
+	}, func(i, r int) bool {
+		consumed++
+		return i < 9 // stop after consuming index 9
+	})
+	if consumed != 10 {
+		t.Fatalf("consumed %d, want 10", consumed)
+	}
+	if p := produced.Load(); p >= 10_000 {
+		t.Fatalf("early stop did not stop production (produced %d)", p)
+	}
+}
+
+func TestStreamSerialFastPathAlternates(t *testing.T) {
+	// With one worker, produce(i+1) must not start before consume(i):
+	// the serial path is the reference behavior parallel runs must match.
+	var trace []string
+	Stream(1, 3, func(i int) int {
+		trace = append(trace, fmt.Sprintf("p%d", i))
+		return i
+	}, func(i, _ int) bool {
+		trace = append(trace, fmt.Sprintf("c%d", i))
+		return true
+	})
+	want := "[p0 c0 p1 c1 p2 c2]"
+	if got := fmt.Sprint(trace); got != want {
+		t.Fatalf("serial order %v, want %v", got, want)
+	}
+}
+
+func TestStreamZeroItems(t *testing.T) {
+	called := false
+	Stream(4, 0, func(int) int { return 0 }, func(int, int) bool {
+		called = true
+		return true
+	})
+	if called {
+		t.Fatal("consume called with zero items")
+	}
+}
+
+func TestMap(t *testing.T) {
+	got := Map(8, 50, func(i int) string { return fmt.Sprint(i) })
+	for i, s := range got {
+		if s != fmt.Sprint(i) {
+			t.Fatalf("Map[%d] = %q", i, s)
+		}
+	}
+}
+
+func TestMapErrFirstByIndex(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for trial := 0; trial < 20; trial++ {
+		err := MapErr(8, 100, func(i int) error {
+			switch i {
+			case 7:
+				return errA
+			case 3:
+				// Make the lower-index error the SLOWER one.
+				time.Sleep(time.Millisecond)
+				return errB
+			}
+			return nil
+		})
+		if err != errB {
+			t.Fatalf("trial %d: err = %v, want lowest-index error %v", trial, err, errB)
+		}
+	}
+	if err := MapErr(4, 10, func(int) error { return nil }); err != nil {
+		t.Fatalf("clean run returned %v", err)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Fatal("explicit count not honored")
+	}
+	if Workers(0) < 1 || Workers(-1) < 1 {
+		t.Fatal("defaulted worker count < 1")
+	}
+}

@@ -1,62 +1,70 @@
 package sim
 
-import "container/heap"
-
-// Event is a scheduled callback. It is returned by At/After so callers
-// can cancel it before it fires.
-type Event struct {
-	at        Time
-	seq       uint64
-	fn        func()
-	cancelled bool
-	index     int // heap index, -1 once popped
-}
-
-// At returns the virtual time at which the event is (or was) scheduled
-// to fire.
-func (e *Event) At() Time { return e.at }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq // FIFO among simultaneous events
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
-
-// Engine is the discrete-event core: a virtual clock plus a time-ordered
-// event queue. Events scheduled for the same instant fire in scheduling
-// order, so runs are fully deterministic.
+// Event is a cancellable handle to a scheduled callback, returned by
+// At/After/AfterArg. It is a small value (pointer + generation): the
+// zero Event is inert, so fields holding "maybe a pending timer" need
+// no pointer sentinel — Cancel on the zero value is a no-op.
 //
-// Engine is not safe for concurrent use; the simulation guarantees that
-// only one goroutine touches it at a time (the kernel's token-handoff
-// protocol, see internal/kernel).
+// Handles are generation-checked: once the event has fired or been
+// cancelled, its slot may be recycled for a future event, but stale
+// handles keep referring to the *old* generation, so a late Cancel
+// can never kill an unrelated newer event.
+type Event struct {
+	n   *node
+	gen uint32
+}
+
+// Pending reports whether the event is still queued (not yet fired,
+// not cancelled). The zero Event reports false.
+func (ev Event) Pending() bool { return ev.n != nil && ev.n.gen == ev.gen }
+
+// At returns the virtual time at which the event is scheduled to
+// fire, or 0 if it already fired or was cancelled (the slot may have
+// been recycled, so the original timestamp is gone).
+func (ev Event) At() Time {
+	if !ev.Pending() {
+		return 0
+	}
+	return ev.n.at
+}
+
+// node is the engine-owned storage for one scheduled event. Nodes are
+// pooled: on fire or cancel they return to the engine's free list and
+// are reused by later At/After calls, so steady-state scheduling does
+// not allocate. gen increments on every recycle, invalidating any
+// handles still pointing at the slot.
+type node struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	fnArg func(any) // set (with arg) by AfterArg instead of fn
+	arg   any
+	gen   uint32
+	index int32 // position in the heap, -1 once popped/removed
+	next  *node // free-list link
+}
+
+// Engine is the discrete-event core: a virtual clock plus a
+// time-ordered event queue. Events scheduled for the same instant fire
+// in scheduling order, so runs are fully deterministic.
+//
+// The queue is a 4-ary min-heap ordered on (at, seq). A 4-ary heap
+// does ~half the levels of a binary heap per operation, and the
+// four-child scan stays within one cache line of the slice — the
+// event queue is the hottest host-side structure in the simulator.
+//
+// Engine is not safe for concurrent use; the simulation guarantees
+// that only one goroutine touches it at a time (the kernel's
+// token-handoff protocol, see internal/kernel). Distinct Engines are
+// fully independent and may run on concurrent goroutines — the basis
+// of the parallel harness (internal/parallel).
 type Engine struct {
-	now  Time
-	heap eventHeap
-	seq  uint64
-	hook func(at Time) // observes every fired event; nil = off
+	now     Time
+	heap    []*node
+	seq     uint64
+	free    *node
+	hook    func(at Time) // observes every fired event; nil = off
+	metered Time          // clock value already flushed to the global meter
 }
 
 // NewEngine returns an engine with the clock at zero and no events.
@@ -75,50 +83,97 @@ func (e *Engine) Pending() int { return len(e.heap) }
 // uses this to count event dispatches; nil disables it.
 func (e *Engine) SetEventHook(h func(at Time)) { e.hook = h }
 
-// At schedules fn to run when the clock reaches t. Scheduling in the
-// past is a bug in the caller; the engine clamps it to "now" so the
-// event still fires (in order) rather than corrupting the clock.
-func (e *Engine) At(t Time, fn func()) *Event {
+// schedule acquires a node (recycling from the free list when
+// possible), stamps it, and pushes it on the heap.
+func (e *Engine) schedule(t Time) *node {
 	if t < e.now {
 		t = e.now
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	n := e.free
+	if n != nil {
+		e.free = n.next
+		n.next = nil
+	} else {
+		n = &node{}
+	}
+	n.at = t
+	n.seq = e.seq
 	e.seq++
-	heap.Push(&e.heap, ev)
-	return ev
+	e.push(n)
+	return n
+}
+
+// release returns a node to the free list, invalidating every
+// outstanding handle to the event it carried.
+func (e *Engine) release(n *node) {
+	n.gen++
+	n.fn = nil
+	n.fnArg = nil
+	n.arg = nil
+	n.index = -1
+	n.next = e.free
+	e.free = n
+}
+
+// At schedules fn to run when the clock reaches t. Scheduling in the
+// past is a bug in the caller; the engine clamps it to "now" so the
+// event still fires (in order) rather than corrupting the clock.
+func (e *Engine) At(t Time, fn func()) Event {
+	n := e.schedule(t)
+	n.fn = fn
+	return Event{n, n.gen}
 }
 
 // After schedules fn to run d cycles from now.
-func (e *Engine) After(d Time, fn func()) *Event {
+func (e *Engine) After(d Time, fn func()) Event {
 	return e.At(e.now+d, fn)
 }
 
-// Cancel prevents ev from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.cancelled {
+// AfterArg schedules fn(arg) to run d cycles from now. Unlike After,
+// the common timer pattern pays no closure allocation: callers keep
+// one long-lived fn (typically a package-level func or a field) and
+// pass the receiver through arg, and the event node itself comes from
+// the engine's pool — steady-state cost is zero allocations.
+func (e *Engine) AfterArg(d Time, fn func(any), arg any) Event {
+	n := e.schedule(e.now + d)
+	n.fnArg = fn
+	n.arg = arg
+	return Event{n, n.gen}
+}
+
+// Cancel prevents ev from firing. Cancelling the zero Event, an
+// already-fired or already-cancelled event — even if its slot has
+// since been recycled for a newer event — is a no-op.
+func (e *Engine) Cancel(ev Event) {
+	n := ev.n
+	if n == nil || n.gen != ev.gen || n.index < 0 {
 		return
 	}
-	ev.cancelled = true
-	if ev.index >= 0 {
-		heap.Remove(&e.heap, ev.index)
-		ev.index = -1
-	}
+	e.remove(int(n.index))
+	e.release(n)
 }
 
 // Step pops and runs the next event, advancing the clock to its time.
 // It reports whether an event ran. Cancelled events are never in the
-// heap (Cancel removes them eagerly), so whatever is popped fires.
+// heap (Cancel removes them eagerly), so whatever is popped fires. The
+// node is recycled before the callback runs, so a callback that
+// schedules a new event typically reuses the slot it fired from.
 func (e *Engine) Step() bool {
 	if len(e.heap) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.heap).(*Event)
-	e.now = ev.at
+	n := e.pop()
+	e.now = n.at
+	fn, fnArg, arg := n.fn, n.fnArg, n.arg
+	e.release(n)
 	if e.hook != nil {
-		e.hook(ev.at)
+		e.hook(e.now)
 	}
-	ev.fn()
+	if fnArg != nil {
+		fnArg(arg)
+	} else {
+		fn()
+	}
 	return true
 }
 
@@ -126,6 +181,7 @@ func (e *Engine) Step() bool {
 func (e *Engine) Run() {
 	for e.Step() {
 	}
+	e.flushMeter()
 }
 
 // RunUntil processes events with timestamps <= t, then advances the
@@ -137,6 +193,7 @@ func (e *Engine) RunUntil(t Time) {
 	if e.now < t {
 		e.now = t
 	}
+	e.flushMeter()
 }
 
 // Advance moves the clock forward by d without processing any events.
@@ -149,4 +206,94 @@ func (e *Engine) Advance(d Time) {
 		panic("sim: Advance would skip a pending event")
 	}
 	e.now = target
+}
+
+// less orders the heap: by timestamp, then FIFO among simultaneous
+// events.
+func less(a, b *node) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push appends n and restores the heap property.
+func (e *Engine) push(n *node) {
+	n.index = int32(len(e.heap))
+	e.heap = append(e.heap, n)
+	e.siftUp(int(n.index))
+}
+
+// pop removes and returns the minimum node.
+func (e *Engine) pop() *node {
+	root := e.heap[0]
+	last := len(e.heap) - 1
+	n := e.heap[last]
+	e.heap[last] = nil
+	e.heap = e.heap[:last]
+	if last > 0 {
+		e.heap[0] = n
+		n.index = 0
+		e.siftDown(0)
+	}
+	root.index = -1
+	return root
+}
+
+// remove deletes the node at heap position i.
+func (e *Engine) remove(i int) {
+	last := len(e.heap) - 1
+	n := e.heap[last]
+	e.heap[last] = nil
+	e.heap = e.heap[:last]
+	if i < last {
+		e.heap[i] = n
+		n.index = int32(i)
+		e.siftUp(i)
+		e.siftDown(int(n.index))
+	}
+}
+
+func (e *Engine) siftUp(i int) {
+	n := e.heap[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !less(n, e.heap[p]) {
+			break
+		}
+		e.heap[i] = e.heap[p]
+		e.heap[i].index = int32(i)
+		i = p
+	}
+	e.heap[i] = n
+	n.index = int32(i)
+}
+
+func (e *Engine) siftDown(i int) {
+	n := e.heap[i]
+	size := len(e.heap)
+	for {
+		first := i<<2 + 1
+		if first >= size {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > size {
+			end = size
+		}
+		for c := first + 1; c < end; c++ {
+			if less(e.heap[c], e.heap[best]) {
+				best = c
+			}
+		}
+		if !less(e.heap[best], n) {
+			break
+		}
+		e.heap[i] = e.heap[best]
+		e.heap[i].index = int32(i)
+		i = best
+	}
+	e.heap[i] = n
+	n.index = int32(i)
 }

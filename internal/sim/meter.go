@@ -1,0 +1,29 @@
+package sim
+
+import "sync/atomic"
+
+// The global cycle meter: a process-wide count of virtual cycles
+// simulated by every Engine, across all machines and goroutines.
+// Harnesses read it before and after an experiment to report "how
+// much simulation happened" next to host wall-clock time
+// (cmd/xok-bench's per-experiment summary lines).
+//
+// Engines batch their contribution — each flushes the clock delta
+// since its last flush when Run or RunUntil returns — so the meter
+// costs one atomic add per drain, not per event, and never perturbs
+// simulated behavior. The counter is monotonic and shared; deltas are
+// meaningful, absolute values only count cycles since process start.
+var simulatedCycles atomic.Int64
+
+// CyclesSimulated returns the total virtual cycles simulated by all
+// engines in this process so far. Safe to call from any goroutine.
+func CyclesSimulated() Time { return Time(simulatedCycles.Load()) }
+
+// flushMeter publishes the engine's clock progress since the last
+// flush to the global meter.
+func (e *Engine) flushMeter() {
+	if d := e.now - e.metered; d > 0 {
+		simulatedCycles.Add(int64(d))
+		e.metered = e.now
+	}
+}

@@ -46,6 +46,25 @@ func (h *Histogram) Observe(d sim.Time) {
 	h.counts[bits.Len64(uint64(d))]++
 }
 
+// merge folds src's samples into h (same bucket layout, exact n/sum;
+// min/max stay exact too, which keeps quantile clamping tight).
+func (h *Histogram) merge(src *Histogram) {
+	if src == nil || src.n == 0 {
+		return
+	}
+	if h.n == 0 || src.min < h.min {
+		h.min = src.min
+	}
+	if src.max > h.max {
+		h.max = src.max
+	}
+	h.n += src.n
+	h.sum += src.sum
+	for i, c := range src.counts {
+		h.counts[i] += c
+	}
+}
+
 // Count reports the number of samples.
 func (h *Histogram) Count() int64 { return h.n }
 

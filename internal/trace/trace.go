@@ -22,7 +22,8 @@
 // Like sim.Engine, a Tracer is not safe for concurrent use. The token
 // handoff protocol guarantees only one goroutine per machine touches
 // it at a time; attach distinct machines to one Tracer only when they
-// run sequentially (as cmd/xok-bench does).
+// run sequentially. Machines running concurrently (internal/parallel)
+// each get their own Tracer, folded together afterwards with Merge.
 package trace
 
 import (
@@ -109,16 +110,52 @@ func New() *Tracer {
 	}
 }
 
-// def is the package default tracer, picked up by kernel.New when no
-// tracer is set explicitly (cmd/xok-bench installs one before running
-// experiments). Nil means tracing is off everywhere by default.
-var def *Tracer
-
-// SetDefault installs t as the package default tracer.
-func SetDefault(t *Tracer) { def = t }
-
-// Default returns the package default tracer (nil if unset).
-func Default() *Tracer { return def }
+// Merge appends src's record into t, deterministically. src's
+// processes (past the shared pid-0 "sim" entry) are re-registered
+// after t's existing ones and event/lane pids remapped by the fixed
+// offset; events append in recording order, respecting MaxEvents with
+// dropped accounting; histograms and counters — keyed by process
+// *name*, which survives the remap — merge by key in src's
+// registration order. Merging per-leg tracers in leg order therefore
+// reproduces the state a single tracer would hold had the legs run
+// sequentially against it, which is what makes parallel experiment
+// runs trace-identical to serial ones. A nil src is a no-op.
+func (t *Tracer) Merge(src *Tracer) {
+	if t == nil || src == nil {
+		return
+	}
+	off := int64(len(t.procs) - 1)
+	remap := func(pid int64) int64 {
+		if pid <= 0 {
+			return pid
+		}
+		return pid + off
+	}
+	t.procs = append(t.procs, src.procs[1:]...)
+	for k, name := range src.laneNames {
+		t.laneNames[laneKey{remap(k.pid), k.tid}] = name
+	}
+	for _, ev := range src.events {
+		ev.pid = remap(ev.pid)
+		t.record(ev)
+	}
+	t.dropped += src.dropped
+	for _, k := range src.histOrder {
+		h, ok := t.hists[k]
+		if !ok {
+			h = newHistogram(k)
+			t.hists[k] = h
+			t.histOrder = append(t.histOrder, k)
+		}
+		h.merge(src.hists[k])
+	}
+	for _, k := range src.countOrder {
+		if _, ok := t.counts[k]; !ok {
+			t.countOrder = append(t.countOrder, k)
+		}
+		t.counts[k] += src.counts[k]
+	}
+}
 
 // Enabled reports whether t records anything. It is the idiomatic
 // guard before building args for a span.

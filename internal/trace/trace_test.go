@@ -181,14 +181,100 @@ func TestEventCapDrops(t *testing.T) {
 	}
 }
 
-func TestDefaultTracer(t *testing.T) {
-	if Default() != nil {
-		t.Fatal("default tracer should start nil")
+// leg simulates one machine's worth of activity on a tracer: register
+// a process named name, emit a span, a histogram sample and a counter
+// bump under it.
+func mergeLeg(tr *Tracer, name string, d sim.Time) {
+	pid := tr.AddProcess(name)
+	tr.NameLane(pid, 1, name+"-lane")
+	tr.Span(pid, 1, "cat", "work", 0, d)
+	tr.Observe(pid, "latency", d)
+	tr.Count(pid, "events", 1)
+}
+
+// TestMergeMatchesSerial is the contract parallel experiment runs rely
+// on: per-leg tracers merged in leg order must be digest-identical to
+// one tracer that saw the legs sequentially.
+func TestMergeMatchesSerial(t *testing.T) {
+	serial := New()
+	mergeLeg(serial, "A", 10)
+	mergeLeg(serial, "B", 20)
+	mergeLeg(serial, "C", 30)
+
+	merged := New()
+	for _, leg := range []struct {
+		name string
+		d    sim.Time
+	}{{"A", 10}, {"B", 20}, {"C", 30}} {
+		per := New()
+		mergeLeg(per, leg.name, leg.d)
+		merged.Merge(per)
 	}
-	tr := New()
-	SetDefault(tr)
-	defer SetDefault(nil)
-	if Default() != tr {
-		t.Fatal("SetDefault not picked up")
+
+	if got, want := merged.Digest(), serial.Digest(); got != want {
+		t.Fatalf("merged digest %#x != serial digest %#x", got, want)
+	}
+	if merged.Events() != serial.Events() {
+		t.Fatalf("events %d != %d", merged.Events(), serial.Events())
+	}
+	// Histogram keys are process-name based and must line up too.
+	for _, name := range []string{"A", "B", "C"} {
+		hs := serial.hists[name+"/latency"]
+		hm := merged.hists[name+"/latency"]
+		if hs == nil || hm == nil || hs.Count() != hm.Count() ||
+			hs.Min() != hm.Min() || hs.Max() != hm.Max() || hs.Sum() != hm.Sum() {
+			t.Fatalf("histogram %s/latency diverged: serial=%+v merged=%+v", name, hs, hm)
+		}
+	}
+}
+
+// TestMergeSameProcessName checks samples under the same process name
+// fold into one histogram/counter rather than clobbering.
+func TestMergeSameProcessName(t *testing.T) {
+	dst := New()
+	mergeLeg(dst, "m", 10)
+	src := New()
+	mergeLeg(src, "m", 30)
+	dst.Merge(src)
+
+	h := dst.hists["m/latency"]
+	if h == nil || h.Count() != 2 || h.Min() != 10 || h.Max() != 30 || h.Sum() != 40 {
+		t.Fatalf("merged histogram = %+v, want n=2 min=10 max=30 sum=40", h)
+	}
+	if dst.counts["m/events"] != 2 {
+		t.Fatalf("merged counter = %d, want 2", dst.counts["m/events"])
+	}
+	// Both processes keep distinct pids (swimlanes) even with one name.
+	if len(dst.procs) != 3 {
+		t.Fatalf("procs = %v, want [sim m m]", dst.procs)
+	}
+}
+
+// TestMergeRespectsCap checks MaxEvents still bounds the merged buffer
+// with dropped accounting.
+func TestMergeRespectsCap(t *testing.T) {
+	old := MaxEvents
+	MaxEvents = 10
+	defer func() { MaxEvents = old }()
+	dst := New()
+	for i := 0; i < 8; i++ {
+		dst.Instant(0, 0, "c", "n", sim.Time(i))
+	}
+	src := New()
+	for i := 0; i < 5; i++ {
+		src.Instant(0, 0, "c", "n", sim.Time(i))
+	}
+	dst.Merge(src)
+	if dst.Events() != 10 {
+		t.Fatalf("events = %d, want cap 10", dst.Events())
+	}
+	if dst.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", dst.Dropped())
+	}
+
+	// Merging a nil source is a no-op.
+	dst.Merge(nil)
+	if dst.Events() != 10 || dst.Dropped() != 3 {
+		t.Fatal("nil merge changed state")
 	}
 }

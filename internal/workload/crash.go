@@ -8,6 +8,7 @@ import (
 	"xok/internal/cffs"
 	"xok/internal/fault"
 	"xok/internal/machine"
+	"xok/internal/parallel"
 	"xok/internal/sim"
 	"xok/internal/unix"
 )
@@ -39,6 +40,12 @@ type CrashConfig struct {
 	// DiskBlocks sizes the volume (0 = 32768 blocks = 128 MB — small
 	// keeps the per-point remounts fast).
 	DiskBlocks int64
+
+	// Parallel bounds the worker pool for the per-point trials; <= 1
+	// runs them serially. Every trial boots its own machine under its
+	// own plan clone, so trials are independent; results keep boundary
+	// order, and the outcome digest is identical at any worker count.
+	Parallel int
 }
 
 // CrashPoint is one enumerated crash trial.
@@ -97,6 +104,9 @@ func CrashEnumerate(cfg CrashConfig) (CrashResult, error) {
 	if cfg.DiskBlocks == 0 {
 		cfg.DiskBlocks = 32768
 	}
+	if cfg.Parallel <= 1 {
+		cfg.Parallel = 1 // zero value = serial; never auto-widen
+	}
 	boot := func() (Machine, *fault.Plan) {
 		p := plan.Clone()
 		m := machine.MustNew(machine.Config{
@@ -142,16 +152,16 @@ func CrashEnumerate(cfg CrashConfig) (CrashResult, error) {
 		pts = sampled
 	}
 
-	for _, b := range pts {
+	res.Points = parallel.Map(cfg.Parallel, len(pts), func(i int) CrashPoint {
 		// One cycle before the completion event: the write is still
 		// in flight, so a torn-writes plan tears it in the image.
-		at := b - 1
+		at := pts[i] - 1
 		m, _ := boot()
 		m.SpawnProc("crash-mab", 0, func(p unix.Proc) { _ = crashWorkload(p) })
 		img := m.Crash(at)
 		viols := cffs.AuditImage(img, cfg.DiskBlocks, "cffs", cffs.DefaultConfig())
-		res.Points = append(res.Points, CrashPoint{At: at, Violations: viols})
-	}
+		return CrashPoint{At: at, Violations: viols}
+	})
 
 	// Outcome digest (FNV-1a): equal plans must yield equal digests.
 	h := uint64(14695981039346656037)

@@ -59,3 +59,38 @@ func TestCrashEnumerationSeedSensitivity(t *testing.T) {
 		t.Fatalf("seed 7: %d crash points failed recovery", res.Violations())
 	}
 }
+
+// TestCrashParallelMatchesSerial: fanning the per-point trials across
+// workers must not change the sweep — same sampled boundaries, same
+// per-point audit findings, same outcome digest. Each trial boots its
+// own machine under its own plan clone, so this holds by construction;
+// the test is the guard that keeps it true.
+func TestCrashParallelMatchesSerial(t *testing.T) {
+	mk := func(workers int) CrashResult {
+		res, err := CrashEnumerate(CrashConfig{
+			Plan:      &fault.Plan{Seed: 42, TornWrites: true},
+			MaxPoints: 6,
+			Parallel:  workers,
+		})
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", workers, err)
+		}
+		return res
+	}
+	serial := mk(1)
+	for _, workers := range []int{3, 8} {
+		par := mk(workers)
+		if par.Digest != serial.Digest {
+			t.Fatalf("parallel=%d digest %#x, serial %#x", workers, par.Digest, serial.Digest)
+		}
+		if par.Boundaries != serial.Boundaries || len(par.Points) != len(serial.Points) {
+			t.Fatalf("parallel=%d shape differs: %d/%d boundaries, %d/%d points",
+				workers, par.Boundaries, serial.Boundaries, len(par.Points), len(serial.Points))
+		}
+		for i := range par.Points {
+			if par.Points[i].At != serial.Points[i].At {
+				t.Fatalf("point %d crashes at %v parallel vs %v serial", i, par.Points[i].At, serial.Points[i].At)
+			}
+		}
+	}
+}

@@ -54,15 +54,29 @@ func NewBSD(v bsdos.Variant) Machine {
 	return machine.MustNew(machine.Config{Personality: p})
 }
 
+// SystemConfigs returns the machine configurations of the four
+// Figure-2 systems in the paper's presentation order. Callers that
+// need per-machine state (a tracer, a fault plan) set it on a config
+// before booting with machine.MustNew — the pattern parallel
+// experiment legs use.
+func SystemConfigs() []machine.Config {
+	return []machine.Config{
+		{Personality: machine.XokExOS},
+		{Personality: machine.OpenBSDCFFS},
+		{Personality: machine.OpenBSD},
+		{Personality: machine.FreeBSD},
+	}
+}
+
 // AllSystems boots the four systems of Figure 2, in the paper's
 // presentation order.
 func AllSystems() []Machine {
-	return []Machine{
-		NewXok(),
-		NewBSD(bsdos.OpenBSDCFFS),
-		NewBSD(bsdos.OpenBSD),
-		NewBSD(bsdos.FreeBSD),
+	cfgs := SystemConfigs()
+	ms := make([]Machine, len(cfgs))
+	for i, cfg := range cfgs {
+		ms[i] = machine.MustNew(cfg)
 	}
+	return ms
 }
 
 // exec runs main as a process to completion and returns the elapsed

@@ -97,11 +97,9 @@ func (x *XN) isMetadata(id TemplateID) bool {
 	return false
 }
 
-var useClock uint64
-
 func (x *XN) touch(en *Entry) {
-	useClock++
-	en.lastUse = useClock
+	x.useClock++
+	en.lastUse = x.useClock
 	if en.Page != mem.NoPage {
 		x.M.Touch(en.Page)
 	}

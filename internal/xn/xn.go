@@ -143,6 +143,11 @@ type XN struct {
 
 	reg map[disk.BlockNo]*Entry
 
+	// useClock stamps registry entries for LRU recycling. Per-machine
+	// state: a package-level clock would be a data race (and a hidden
+	// cross-machine coupling) once machines run on parallel workers.
+	useClock uint64
+
 	// onDiskOwns is what each written metadata block pointed to the
 	// last time it hit the disk; diffing against it on each write
 	// maintains diskRefs.

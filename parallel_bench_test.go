@@ -1,0 +1,50 @@
+package xok
+
+import (
+	"testing"
+
+	"xok/internal/difftest"
+	"xok/internal/fault"
+	"xok/internal/workload"
+)
+
+// Serial-vs-parallel wall-clock baselines for the run harness. Each
+// pair runs the identical campaign with the worker pool off and on;
+// the ns/op gap is the harness speedup on this host (on a single-CPU
+// host the pair instead bounds the pool's scheduling overhead).
+// `make bench` runs these once (-benchtime=1x) and folds the numbers
+// into BENCH_sim.json.
+
+func benchDifftest(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		div, err := difftest.Fuzz(difftest.Options{Seeds: 100, Parallel: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if div != nil {
+			b.Fatalf("unexpected divergence: %v", div)
+		}
+	}
+}
+
+func BenchmarkDifftest100Serial(b *testing.B)    { benchDifftest(b, 1) }
+func BenchmarkDifftest100Parallel4(b *testing.B) { benchDifftest(b, 4) }
+
+func benchCrashSweep(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		res, err := workload.CrashEnumerate(workload.CrashConfig{
+			Plan:      &fault.Plan{Seed: 42, TornWrites: true},
+			MaxPoints: 12,
+			Parallel:  workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Violations() != 0 {
+			b.Fatalf("%d crash points failed recovery", res.Violations())
+		}
+	}
+}
+
+func BenchmarkCrashSweepSerial(b *testing.B)    { benchCrashSweep(b, 1) }
+func BenchmarkCrashSweepParallel4(b *testing.B) { benchCrashSweep(b, 4) }
