@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race crash fuzz-smoke race-parallel check bench
+.PHONY: all build fmt vet test race crash fuzz-smoke race-parallel perf-sanity check bench
 
 all: check
 
@@ -40,13 +40,24 @@ fuzz-smoke:
 race-parallel:
 	$(GO) run -race ./cmd/xok-bench -run difftest -seeds 12 -parallel 4
 
+# Perf sanity: the difftest campaign fanned across 4 workers must not
+# be slower than the same campaign serial beyond a generous tolerance
+# (single-CPU hosts legitimately see speedup ~1; what this catches is
+# the pool actively LOSING to serial — coordination overhead or
+# shared-state contention). Reduced seed count keeps it quick; the
+# XOK_PERF_SANITY guard keeps the wall-clock assertion out of ordinary
+# `go test ./...` runs where it would be noise.
+perf-sanity:
+	XOK_PERF_SANITY=1 $(GO) test -run TestPerfSanityParallelNotSlower -count=1 -v .
+
 # The full pre-commit gate: everything compiles, the tree is gofmt
 # clean, vet is clean, the whole suite passes under the race detector
 # (the token-handoff protocol in internal/sim is exactly the kind of
 # code -race exists for), the parallel harness is race-clean, the
-# crash-enumeration sweep re-runs, and the differential fuzz smoke
-# campaign comes back clean.
-check: build fmt vet race race-parallel crash fuzz-smoke
+# crash-enumeration sweep re-runs, the differential fuzz smoke
+# campaign comes back clean, and the parallel harness is not slower
+# than serial.
+check: build fmt vet race race-parallel crash fuzz-smoke perf-sanity
 
 # Wall-clock benchmark baseline, committed as BENCH_sim.json so engine
 # or harness regressions show up as a diff. Two tiers: the engine
@@ -55,9 +66,17 @@ check: build fmt vet race race-parallel crash fuzz-smoke
 # experiment benchmarks (MAB, difftest serial-vs-parallel, crash
 # serial-vs-parallel) each run their full campaign once, -benchtime=1x.
 # Raw `go test` output passes through on stderr; stdout carries the
-# JSON (see cmd/benchjson).
+# JSON (see cmd/benchjson). The -expect list makes a silently vanished
+# benchmark (renamed, paniced, filtered out) fail the run instead of
+# quietly shrinking the committed baseline.
+BENCH_EXPECT = BenchmarkEngineStepAfter16,BenchmarkEngineStepAfter1024,\
+BenchmarkEngineStepAfterArg16,BenchmarkEngineStepAfterArg1024,\
+BenchmarkEngineScheduleCancel,BenchmarkMAB/Xok-ExOS,BenchmarkMAB/FreeBSD,\
+BenchmarkDifftest100Serial,BenchmarkDifftest100Parallel4,\
+BenchmarkCrashSweepSerial,BenchmarkCrashSweepParallel4
+
 bench:
 	@{ $(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem ./internal/sim/ && \
 	   $(GO) test -run '^$$' -bench 'BenchmarkMAB$$|BenchmarkDifftest100|BenchmarkCrashSweep' -benchmem -benchtime=1x . ; } \
-	  | $(GO) run ./cmd/benchjson > BENCH_sim.json
+	  | $(GO) run ./cmd/benchjson -expect '$(BENCH_EXPECT)' > BENCH_sim.json
 	@echo "wrote BENCH_sim.json"

@@ -15,6 +15,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -31,15 +32,38 @@ type Benchmark struct {
 	Metrics map[string]float64 `json:"metrics"`
 }
 
+// Speedup is one derived serial-vs-parallel comparison: a benchmark
+// pair named <Base>Serial / <Base>Parallel<k>.
+type Speedup struct {
+	Base    string `json:"base"`
+	Workers int    `json:"workers"`
+	// Speedup is serial ns/op over parallel ns/op (>1 = parallel wins).
+	Speedup float64 `json:"speedup"`
+	// SerialNsOp/ParallelNsOp restate the inputs for review diffs.
+	SerialNsOp   float64 `json:"serial_ns_op"`
+	ParallelNsOp float64 `json:"parallel_ns_op"`
+	// AllocDelta* are parallel minus serial — how much extra (or saved)
+	// heap the fan-out costs per campaign. Present only when both sides
+	// ran with -benchmem.
+	AllocDeltaBytes   *float64 `json:"alloc_delta_bytes,omitempty"`
+	AllocDeltaObjects *float64 `json:"alloc_delta_objects,omitempty"`
+}
+
 // Report is the whole document.
 type Report struct {
 	// Host pins the hardware/toolchain the numbers were taken on.
 	Host map[string]string `json:"host"`
 	// Benchmarks appear in input order.
 	Benchmarks []Benchmark `json:"benchmarks"`
+	// ParallelSpeedups is derived from <Base>Serial / <Base>Parallel<k>
+	// benchmark pairs, in the serial side's input order.
+	ParallelSpeedups []Speedup `json:"parallel_speedups,omitempty"`
 }
 
 func main() {
+	expect := flag.String("expect", "", "comma-separated benchmark names that must be present; any missing or unparsable one fails the run")
+	flag.Parse()
+
 	rep := Report{Host: map[string]string{}}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
@@ -65,12 +89,90 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
+	if missing := missingBenchmarks(*expect, rep.Benchmarks); len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: expected benchmarks missing or unparsable: %s\n", strings.Join(missing, ", "))
+		os.Exit(1)
+	}
+	rep.ParallelSpeedups = deriveSpeedups(rep.Benchmarks)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: write: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// missingBenchmarks returns the names from the comma-separated expect
+// list that did not produce a parsed result line. A benchmark that
+// paniced, failed, or was renamed shows up here instead of silently
+// vanishing from the committed baseline.
+func missingBenchmarks(expect string, got []Benchmark) []string {
+	if expect == "" {
+		return nil
+	}
+	have := make(map[string]bool, len(got))
+	for _, b := range got {
+		have[b.Name] = true
+	}
+	var missing []string
+	for _, name := range strings.Split(expect, ",") {
+		name = strings.TrimSpace(name)
+		if name != "" && !have[name] {
+			missing = append(missing, name)
+		}
+	}
+	return missing
+}
+
+// deriveSpeedups pairs <Base>Serial with every <Base>Parallel<k> and
+// computes the speedup ratio plus the per-campaign allocation deltas.
+func deriveSpeedups(benches []Benchmark) []Speedup {
+	byName := make(map[string]Benchmark, len(benches))
+	for _, b := range benches {
+		byName[b.Name] = b
+	}
+	var out []Speedup
+	for _, s := range benches {
+		base, ok := strings.CutSuffix(s.Name, "Serial")
+		if !ok {
+			continue
+		}
+		for _, p := range benches {
+			rest, ok := strings.CutPrefix(p.Name, base+"Parallel")
+			if !ok {
+				continue
+			}
+			workers, err := strconv.Atoi(rest)
+			if err != nil {
+				continue
+			}
+			sNs, pNs := s.Metrics["ns/op"], p.Metrics["ns/op"]
+			if sNs == 0 || pNs == 0 {
+				continue
+			}
+			sp := Speedup{
+				Base:         base,
+				Workers:      workers,
+				Speedup:      sNs / pNs,
+				SerialNsOp:   sNs,
+				ParallelNsOp: pNs,
+			}
+			sB, okSB := s.Metrics["B/op"]
+			pB, okPB := p.Metrics["B/op"]
+			if okSB && okPB {
+				d := pB - sB
+				sp.AllocDeltaBytes = &d
+			}
+			sA, okSA := s.Metrics["allocs/op"]
+			pA, okPA := p.Metrics["allocs/op"]
+			if okSA && okPA {
+				d := pA - sA
+				sp.AllocDeltaObjects = &d
+			}
+			out = append(out, sp)
+		}
+	}
+	return out
 }
 
 // parseHeader matches the `go test -bench` preamble: "goos: linux",

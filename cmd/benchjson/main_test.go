@@ -46,6 +46,60 @@ func TestParseBenchRejectsNoise(t *testing.T) {
 	}
 }
 
+func TestDeriveSpeedups(t *testing.T) {
+	benches := []Benchmark{
+		{Name: "BenchmarkDifftest100Serial", Metrics: map[string]float64{
+			"ns/op": 800e6, "B/op": 100e6, "allocs/op": 1000,
+		}},
+		{Name: "BenchmarkDifftest100Parallel4", Metrics: map[string]float64{
+			"ns/op": 400e6, "B/op": 110e6, "allocs/op": 1100,
+		}},
+		{Name: "BenchmarkUnpaired", Metrics: map[string]float64{"ns/op": 5}},
+	}
+	got := deriveSpeedups(benches)
+	if len(got) != 1 {
+		t.Fatalf("derived %d speedups, want 1: %+v", len(got), got)
+	}
+	s := got[0]
+	if s.Base != "BenchmarkDifftest100" || s.Workers != 4 {
+		t.Fatalf("pairing wrong: %+v", s)
+	}
+	if s.Speedup != 2.0 {
+		t.Fatalf("speedup = %v, want 2.0", s.Speedup)
+	}
+	if s.AllocDeltaBytes == nil || *s.AllocDeltaBytes != 10e6 {
+		t.Fatalf("alloc byte delta = %v, want 10e6", s.AllocDeltaBytes)
+	}
+	if s.AllocDeltaObjects == nil || *s.AllocDeltaObjects != 100 {
+		t.Fatalf("alloc object delta = %v, want 100", s.AllocDeltaObjects)
+	}
+}
+
+func TestDeriveSpeedupsNoBenchmem(t *testing.T) {
+	benches := []Benchmark{
+		{Name: "BenchmarkXSerial", Metrics: map[string]float64{"ns/op": 10}},
+		{Name: "BenchmarkXParallel2", Metrics: map[string]float64{"ns/op": 5}},
+	}
+	got := deriveSpeedups(benches)
+	if len(got) != 1 || got[0].AllocDeltaBytes != nil || got[0].AllocDeltaObjects != nil {
+		t.Fatalf("alloc deltas should be absent without -benchmem: %+v", got)
+	}
+}
+
+func TestMissingBenchmarks(t *testing.T) {
+	got := []Benchmark{{Name: "BenchmarkA"}, {Name: "BenchmarkB"}}
+	if m := missingBenchmarks("", got); m != nil {
+		t.Fatalf("empty expect list flagged %v", m)
+	}
+	if m := missingBenchmarks("BenchmarkA,BenchmarkB", got); m != nil {
+		t.Fatalf("all present but flagged %v", m)
+	}
+	m := missingBenchmarks("BenchmarkA, BenchmarkC,BenchmarkD", got)
+	if len(m) != 2 || m[0] != "BenchmarkC" || m[1] != "BenchmarkD" {
+		t.Fatalf("missing = %v, want [BenchmarkC BenchmarkD]", m)
+	}
+}
+
 func TestParseHeader(t *testing.T) {
 	k, v, ok := parseHeader("cpu: AMD EPYC 7B13")
 	if !ok || k != "cpu" || v != "AMD EPYC 7B13" {

@@ -14,9 +14,14 @@ import (
 // errors. An empty slice means the image recovered clean. The result
 // is deterministic for a given image, so same-seed crash runs digest
 // identically.
+//
+// AuditImage takes ownership of img: the blocks are mounted in place on
+// the forensic machine (no deep copy) and recycled with it when the
+// audit finishes. Callers that need the image afterwards must pass a
+// copy.
 func AuditImage(img disk.Image, diskBlocks int64, fsName string, fsCfg Config) []string {
 	k := kernel.New(kernel.Config{Name: "audit", MemPages: 4096, DiskSize: diskBlocks})
-	k.Disk.Restore(img)
+	k.Disk.RestoreOwned(img)
 	x, err := xn.Mount(k)
 	if err != nil {
 		return []string{"mount: " + err.Error()}
@@ -38,6 +43,6 @@ func AuditImage(img disk.Image, diskBlocks int64, fsName string, fsCfg Config) [
 		errs = append(errs, report.Errors...)
 	})
 	k.Run()
-	k.Shutdown()
+	k.Release()
 	return errs
 }

@@ -127,6 +127,11 @@ func (fs *FS) nextGen() uint32 {
 func Mkfs(e *kernel.Env, x *xn.XN, name string, cfg Config) (*FS, error) {
 	fs := &FS{X: x, Name: name, Cfg: cfg, nameCache: make(map[string]Ref)}
 
+	// The installs and root registrations below each write the whole
+	// catalogue through to disk; batch them into one flush at the end.
+	x.SuspendCatalogueFlush()
+	defer x.ResumeCatalogueFlush()
+
 	dataT, err := x.InstallTemplate(e, xn.Template{
 		Name:        name + ".data",
 		Owns:        mustAsm(name+".data.owns", noOwnsSource),
@@ -275,13 +280,34 @@ func (fs *FS) ensureDir(e *kernel.Env, blk, parent disk.BlockNo) error {
 
 func (fs *FS) dirData(blk disk.BlockNo) []byte { return fs.X.PageData(blk) }
 
-// split normalizes a path into components.
+// split normalizes a path into components. Hand-rolled rather than
+// strings.Split: every namei allocates one of these, and the Split
+// intermediate slice doubled the cost.
 func split(path string) []string {
-	var out []string
-	for _, c := range strings.Split(path, "/") {
-		if c != "" && c != "." {
+	n := 0
+	for i := 0; i < len(path); {
+		j := i
+		for j < len(path) && path[j] != '/' {
+			j++
+		}
+		if c := path[i:j]; c != "" && c != "." {
+			n++
+		}
+		i = j + 1
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < len(path); {
+		j := i
+		for j < len(path) && path[j] != '/' {
+			j++
+		}
+		if c := path[i:j]; c != "" && c != "." {
 			out = append(out, c)
 		}
+		i = j + 1
 	}
 	return out
 }

@@ -74,6 +74,7 @@ func fuzzDeterminism(o *Options) (*Divergence, error) {
 // determinismOnce runs the kept steps twice on one personality and
 // compares exactly.
 func (o *Options) determinismOnce(pers machine.Personality, seed uint64, steps []Step, keep []int) (*Divergence, error) {
+	prefixes := stepPrefixes(steps, keep)
 	run := func() (*Result, error) {
 		var plan = o.Faults
 		if plan != nil {
@@ -82,7 +83,7 @@ func (o *Options) determinismOnce(pers machine.Personality, seed uint64, steps [
 			// faults than run 1 by construction.
 			plan = plan.Clone()
 		}
-		return o.runProgram(pers, steps, keep, plan, true)
+		return o.runProgram(pers, steps, keep, prefixes, plan, true)
 	}
 	r1, err := run()
 	if err != nil {

@@ -201,6 +201,16 @@ type execState struct {
 	fds   map[int]unix.FD
 	pipes map[int]*pipeModel // slot -> pipe (both end slots map to it)
 	wEnd  map[int]bool       // slot is the write end
+	buf   []byte             // reusable read/write payload scratch
+}
+
+// scratch returns an n-byte payload buffer, reused across steps: the
+// kernel layers copy payloads in and out, never retaining the slice.
+func (st *execState) scratch(n int) []byte {
+	if cap(st.buf) < n {
+		st.buf = make([]byte, n)
+	}
+	return st.buf[:n]
 }
 
 // fnv1a folds bytes into an FNV-1a hash (the repo's standard digest).
@@ -214,20 +224,32 @@ func fnv1a(h uint64, data []byte) uint64 {
 	return h
 }
 
+// stepPrefixes renders the per-step outcome-line prefixes ("<idx>
+// <step> = ") once; every personality running the same kept program
+// shares them instead of re-formatting identical step text five times.
+func stepPrefixes(steps []Step, keep []int) []string {
+	out := make([]string, len(keep))
+	for j, i := range keep {
+		out[j] = fmt.Sprintf("%3d %s = ", i, steps[i])
+	}
+	return out
+}
+
 // execute runs the kept steps of a program inside proc p, recording
-// one canonical outcome line per step.
-func (o *Options) execute(p unix.Proc, persona string, steps []Step, keep []int, res *Result) {
+// one canonical outcome line per step. prefixes must come from
+// stepPrefixes(steps, keep).
+func (o *Options) execute(p unix.Proc, persona string, steps []Step, keep []int, prefixes []string, res *Result) {
 	st := &execState{
 		fds:   make(map[int]unix.FD),
 		pipes: make(map[int]*pipeModel),
 		wEnd:  make(map[int]bool),
 	}
-	for _, i := range keep {
+	for j, i := range keep {
 		out := st.step(p, steps[i])
 		if o.mutate != nil {
 			out = o.mutate(persona, i, out)
 		}
-		res.Outcomes = append(res.Outcomes, fmt.Sprintf("%3d %s = %s", i, steps[i], out))
+		res.Outcomes = append(res.Outcomes, prefixes[j]+out)
 	}
 }
 
@@ -259,7 +281,7 @@ func (st *execState) step(p unix.Proc, s Step) string {
 			pm.fill == 0 && pm.wOpen {
 			return "SKIP(would block)"
 		}
-		buf := make([]byte, s.Size)
+		buf := st.scratch(s.Size)
 		n, err := p.Read(st.fd(s.FD), buf)
 		if pm := st.pipes[s.FD]; pm != nil && !st.wEnd[s.FD] && err == nil {
 			pm.fill -= n
@@ -270,7 +292,7 @@ func (st *execState) step(p unix.Proc, s Step) string {
 			pm.rOpen && s.Size > pipeCapacity-pm.fill {
 			return "SKIP(would block)"
 		}
-		buf := make([]byte, s.Size)
+		buf := st.scratch(s.Size)
 		for i := range buf {
 			buf[i] = s.Fill + byte(i%7)
 		}
@@ -375,7 +397,7 @@ func (st *execState) step(p unix.Proc, s Step) string {
 // file's size/mode/uid and full content hash. MTime is deliberately
 // excluded — it derives from virtual time, which is cost-dependent and
 // so legitimately differs across personalities.
-func observe(p unix.Proc, dir string, depth int, out *[]string) {
+func observe(p unix.Proc, dir string, depth int, out *[]string, buf []byte) {
 	if depth > 8 {
 		return
 	}
@@ -395,7 +417,7 @@ func observe(p unix.Proc, dir string, depth int, out *[]string) {
 		case e.IsDir:
 			info, err := p.Stat(full)
 			*out = append(*out, fmt.Sprintf("D %s mode=%o uid=%d (%s)", full, info.Mode, info.UID, errno(err)))
-			observe(p, full, depth+1, out)
+			observe(p, full, depth+1, out, buf)
 		case e.IsLink:
 			*out = append(*out, fmt.Sprintf("L %s size=%d", full, e.Size))
 		default:
@@ -405,7 +427,6 @@ func observe(p unix.Proc, dir string, depth int, out *[]string) {
 			}
 			if fd, err := p.Open(full); err == nil {
 				h := uint64(0)
-				buf := make([]byte, 8192)
 				for {
 					n, err := p.Read(fd, buf)
 					if n > 0 {
@@ -426,11 +447,16 @@ func observe(p unix.Proc, dir string, depth int, out *[]string) {
 }
 
 // runProgram executes the kept steps of a program on one personality
-// and captures the full observable Result.
-func (o *Options) runProgram(pers machine.Personality, steps []Step, keep []int, plan *fault.Plan, withTrace bool) (*Result, error) {
+// and captures the full observable Result. prefixes, when non-nil,
+// must come from stepPrefixes(steps, keep); callers running the same
+// program on several personalities pass one shared set.
+func (o *Options) runProgram(pers machine.Personality, steps []Step, keep []int, prefixes []string, plan *fault.Plan, withTrace bool) (*Result, error) {
 	var tr *trace.Tracer
 	if withTrace {
 		tr = trace.New()
+	}
+	if prefixes == nil {
+		prefixes = stepPrefixes(steps, keep)
 	}
 	m, err := machine.New(machine.Config{
 		Personality: pers,
@@ -445,11 +471,11 @@ func (o *Options) runProgram(pers machine.Personality, steps []Step, keep []int,
 	res := &Result{}
 	persName := pers.String()
 	m.SpawnProc("fuzz", 0, func(p unix.Proc) {
-		o.execute(p, persName, steps, keep, res)
+		o.execute(p, persName, steps, keep, prefixes, res)
 	})
 	m.Run()
 	m.SpawnProc("observe", 0, func(p unix.Proc) {
-		observe(p, "", 0, &res.Tree)
+		observe(p, "", 0, &res.Tree, make([]byte, 8192))
 	})
 	m.Run()
 	m.SpawnProc("syncer", 0, func(p unix.Proc) { _ = p.Sync() })
@@ -458,7 +484,11 @@ func (o *Options) runProgram(pers machine.Personality, steps []Step, keep []int,
 	res.Digest = tr.Digest()
 	img := m.Crash(m.Now())
 	fsName, fsCfg := m.FSSpec()
+	// AuditImage consumes img; Close returns the machine's page frames
+	// and media blocks to the shared pool. Together they make a seed ×
+	// personality cell ~allocation-neutral at steady state.
 	res.Audit = cffs.AuditImage(img, o.DiskBlocks, fsName, fsCfg)
+	m.Close()
 	return res, nil
 }
 
@@ -594,8 +624,9 @@ func (o *Options) workers() int {
 func (o *Options) diffOnce(seed uint64, steps []Step, keep []int) (*Divergence, error) {
 	var ref *Result
 	var refName string
+	prefixes := stepPrefixes(steps, keep)
 	for _, pers := range o.Personalities {
-		res, err := o.runProgram(pers, steps, keep, nil, false)
+		res, err := o.runProgram(pers, steps, keep, prefixes, nil, false)
 		if err != nil {
 			return nil, err
 		}
@@ -636,11 +667,12 @@ func (o *Options) shrinkDivergence(seed uint64, steps []Step, div *Divergence) (
 	}
 	reproduces := func(keep []int) bool {
 		if div.B == "fsck" {
-			res, err := o.runProgram(persA, steps, keep, nil, false)
+			res, err := o.runProgram(persA, steps, keep, nil, nil, false)
 			return err == nil && len(res.Audit) != 0
 		}
-		ra, errA := o.runProgram(persA, steps, keep, nil, false)
-		rb, errB := o.runProgram(persB, steps, keep, nil, false)
+		prefixes := stepPrefixes(steps, keep)
+		ra, errA := o.runProgram(persA, steps, keep, prefixes, nil, false)
+		rb, errB := o.runProgram(persB, steps, keep, prefixes, nil, false)
 		if errA != nil || errB != nil {
 			return false
 		}

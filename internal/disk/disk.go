@@ -27,6 +27,7 @@ import (
 	"sort"
 	"strconv"
 
+	"xok/internal/bufpool"
 	"xok/internal/fault"
 	"xok/internal/sim"
 	"xok/internal/trace"
@@ -476,7 +477,7 @@ func (d *Disk) traceRequest(sp *spindle, r *Request) {
 func (d *Disk) mediaBlock(b BlockNo) []byte {
 	blk, ok := d.store[b]
 	if !ok {
-		blk = make([]byte, sim.DiskBlockSize)
+		blk = bufpool.Get()
 		d.store[b] = blk
 	}
 	return blk
@@ -491,6 +492,23 @@ func (d *Disk) PeekBlock(b BlockNo) []byte {
 		copy(out, blk)
 	}
 	return out
+}
+
+// zeroBlock is the all-zero media a never-written block reads as.
+// Callers of ViewBlock receive it read-only.
+var zeroBlock [sim.DiskBlockSize]byte
+
+// ViewBlock returns the media contents of block b without timing and
+// without copying. The slice aliases the live media (or a shared
+// all-zero block if b was never written): callers must treat it as
+// read-only and must not hold it across media writes. Recovery-time
+// scans (XN's reachability GC reads every reachable block) use this to
+// avoid a 4-KB copy per block; everything else should PeekBlock.
+func (d *Disk) ViewBlock(b BlockNo) []byte {
+	if blk, ok := d.store[b]; ok {
+		return blk
+	}
+	return zeroBlock[:]
 }
 
 // PokeBlock writes media contents directly (mkfs-style initialization
@@ -511,7 +529,7 @@ type Image = map[BlockNo][]byte
 func (d *Disk) Snapshot() Image {
 	out := make(Image, len(d.store))
 	for b, blk := range d.store {
-		cp := make([]byte, len(blk))
+		cp := bufpool.GetDirty()[:len(blk)]
 		copy(cp, blk)
 		out[b] = cp
 	}
@@ -549,8 +567,11 @@ func (d *Disk) CrashImage() Image {
 			full = r.Count
 		}
 		for j := 0; j < full; j++ {
-			blk := make([]byte, sim.DiskBlockSize)
+			blk := bufpool.GetDirty()
 			copy(blk, r.Pages[j])
+			if old, ok := img[r.Block+BlockNo(j)]; ok {
+				bufpool.Put(old)
+			}
 			img[r.Block+BlockNo(j)] = blk
 		}
 		if full < r.Count {
@@ -558,9 +579,10 @@ func (d *Disk) CrashImage() Image {
 			nbytes := int(int64(frac) * sim.DiskBlockSize / int64(sim.DiskTransferPerBlock))
 			if nbytes > 0 {
 				b := r.Block + BlockNo(full)
-				blk := make([]byte, sim.DiskBlockSize)
+				blk := bufpool.Get()
 				if old, ok := img[b]; ok {
 					copy(blk, old)
+					bufpool.Put(old)
 				}
 				copy(blk[:nbytes], r.Pages[full])
 				img[b] = blk
@@ -570,12 +592,46 @@ func (d *Disk) CrashImage() Image {
 	return img
 }
 
-// Restore replaces the media contents with a snapshot.
+// Restore replaces the media contents with a deep copy of a snapshot;
+// the caller keeps ownership of snap.
 func (d *Disk) Restore(snap Image) {
+	for _, blk := range d.store {
+		bufpool.Put(blk)
+	}
 	d.store = make(map[BlockNo][]byte, len(snap))
 	for b, blk := range snap {
-		cp := make([]byte, len(blk))
+		cp := bufpool.GetDirty()[:len(blk)]
 		copy(cp, blk)
 		d.store[b] = cp
+	}
+}
+
+// RestoreOwned is Restore without the copy: the disk takes ownership
+// of snap and of every block buffer in it. The caller must not touch
+// snap afterwards — the buffers are recycled by the next Restore or by
+// Recycle. This is the crash-audit fast path: a crash image is
+// transplanted into the audit machine exactly once and then discarded.
+func (d *Disk) RestoreOwned(snap Image) {
+	for _, blk := range d.store {
+		bufpool.Put(blk)
+	}
+	d.store = snap
+}
+
+// Recycle returns every media block to the buffer pool and leaves the
+// disk empty. Call only when the machine is finished for good:
+// teardown-for-reuse, not an operation the simulation models.
+func (d *Disk) Recycle() {
+	for _, blk := range d.store {
+		bufpool.Put(blk)
+	}
+	d.store = nil
+}
+
+// RecycleImage returns a detached crash image's buffers to the pool —
+// for callers that audited an image they own and are done with it.
+func RecycleImage(img Image) {
+	for _, blk := range img {
+		bufpool.Put(blk)
 	}
 }

@@ -80,12 +80,13 @@ type Kernel struct {
 	// same way they reach Trace.
 	Faults *fault.Plan
 
-	cfg     Config
-	nextEnv EnvID
-	envs    map[EnvID]*Env
-	runq    []*Env // runnable, round-robin order
-	current *Env
-	sleeprs []*Env // predicate sleepers, in sleep order
+	cfg      Config
+	nextEnv  EnvID
+	envs     map[EnvID]*Env
+	runq     []*Env // runnable, round-robin order (live: runq[runqHead:])
+	runqHead int    // index of the queue front within runq
+	current  *Env
+	sleeprs  []*Env // predicate sleepers, in sleep order
 
 	dispatchPending bool
 	parkCh          chan parkMsg
@@ -228,8 +229,43 @@ func (k *Kernel) makeRunnable(e *Env) {
 			break
 		}
 	}
-	k.runq = append(k.runq, e)
+	k.runqPush(e)
 	k.kickDispatch()
+}
+
+// The run queue is a head-indexed deque over one backing array:
+// runq[runqHead:] are the runnable environments in order. Popping
+// advances the head instead of re-slicing the array away — the old
+// `runq = runq[1:]` pattern made every wake/dispatch cycle abandon its
+// backing storage, so a long campaign re-allocated the queue tens of
+// thousands of times.
+
+func (k *Kernel) runqPush(e *Env) { k.runq = append(k.runq, e) }
+
+func (k *Kernel) runqPop() *Env {
+	if k.runqHead == len(k.runq) {
+		return nil
+	}
+	e := k.runq[k.runqHead]
+	k.runq[k.runqHead] = nil
+	k.runqHead++
+	if k.runqHead == len(k.runq) {
+		k.runq = k.runq[:0]
+		k.runqHead = 0
+	}
+	return e
+}
+
+// runqPromote moves e (already queued) to the front of the queue.
+func (k *Kernel) runqPromote(e *Env) {
+	live := k.runq[k.runqHead:]
+	for i, r := range live {
+		if r == e {
+			copy(live[1:i+1], live[:i])
+			live[0] = e
+			break
+		}
+	}
 }
 
 // kickDispatch arranges for a dispatch pass if the CPU is idle.
@@ -260,11 +296,10 @@ func (k *Kernel) dispatch() {
 		return
 	}
 	k.scanSleepers()
-	if len(k.runq) == 0 {
+	e := k.runqPop()
+	if e == nil {
 		return
 	}
-	e := k.runq[0]
-	k.runq = k.runq[1:]
 	k.current = e
 	e.state = envRunning
 	e.sliceLeft = k.cfg.Quantum
@@ -338,7 +373,7 @@ func (k *Kernel) rotate(e *Env) {
 	}
 	k.current = nil
 	e.state = envRunnable
-	k.runq = append(k.runq, e)
+	k.runqPush(e)
 	k.Eng.AfterArg(sim.CostContextSwitch+sim.CostUpcall, dispatchArg, k)
 }
 
@@ -389,16 +424,9 @@ func (k *Kernel) handlePark(msg parkMsg) {
 	case parkYieldTo:
 		k.current = nil
 		e.state = envRunnable
-		k.runq = append(k.runq, e)
+		k.runqPush(e)
 		if msg.to != nil && msg.to.state == envRunnable {
-			// Move the yield target to the head of the queue.
-			for i, r := range k.runq {
-				if r == msg.to {
-					copy(k.runq[1:i+1], k.runq[:i])
-					k.runq[0] = msg.to
-					break
-				}
-			}
+			k.runqPromote(msg.to)
 		}
 		k.Eng.AfterArg(sim.CostYieldDirected, dispatchArg, k)
 	case parkExit:
@@ -446,6 +474,25 @@ func (k *Kernel) Shutdown() {
 			e.state = envDead
 			e.resume <- false
 		}
+	}
+}
+
+// Release is Shutdown plus teardown-for-reuse: physical memory and the
+// disk hand their 4-KB buffers back to bufpool so the next machine
+// boots from recycled storage instead of fresh heap. The machine is
+// unusable afterwards (Mem is nil, the disk is empty) — any late
+// access fails loudly instead of silently corrupting pooled buffers.
+// Only call from harnesses that own the machine outright and are done
+// with every reference into it, including disk images obtained via
+// Snapshot (copies — safe) and crash images already handed off.
+func (k *Kernel) Release() {
+	k.Shutdown()
+	if k.Mem != nil {
+		k.Mem.Recycle()
+		k.Mem = nil
+	}
+	if k.Disk != nil {
+		k.Disk.Recycle()
 	}
 }
 

@@ -116,6 +116,14 @@ type Machine interface {
 	// structural profile — what cffs.AuditImage needs to re-attach a
 	// crash image of this machine forensically.
 	FSSpec() (string, cffs.Config)
+	// Close releases the machine for good: environment goroutines are
+	// killed and the page-frame and disk-block buffers go back to the
+	// shared pool (kernel.Release). This is the reset path that lets
+	// run-per-cell harnesses (difftest's seed × personality grid, the
+	// crash sweep) boot hundreds of machines without hundreds of
+	// machines' worth of heap churn. The machine must not be used —
+	// not even inspected — afterwards.
+	Close()
 }
 
 // Personalities lists every personality, in the paper's order. Cross-
@@ -221,6 +229,9 @@ func (m Xok) Crash(at sim.Time) disk.Image { return m.S.K.Crash(at) }
 // FSSpec implements Machine.
 func (m Xok) FSSpec() (string, cffs.Config) { return "cffs", cffs.DefaultConfig() }
 
+// Close implements Machine.
+func (m Xok) Close() { m.S.K.Release() }
+
 // BSD wraps a BSD system as a Machine.
 type BSD struct{ S *bsdos.System }
 
@@ -252,3 +263,6 @@ func (m BSD) Crash(at sim.Time) disk.Image { return m.S.K.Crash(at) }
 
 // FSSpec implements Machine.
 func (m BSD) FSSpec() (string, cffs.Config) { return "ffs", m.S.FSCfg }
+
+// Close implements Machine.
+func (m BSD) Close() { m.S.K.Release() }

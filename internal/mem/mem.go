@@ -23,8 +23,10 @@ package mem
 import (
 	"errors"
 	"fmt"
+	"sync"
 
-	"xok/internal/cap"
+	"xok/internal/bufpool"
+	xcap "xok/internal/cap"
 	"xok/internal/sim"
 )
 
@@ -45,7 +47,7 @@ var (
 )
 
 type page struct {
-	guard    cap.Capability
+	guard    xcap.Capability
 	refCount int  // live mappings + registry pins
 	free     bool // on the free list
 	data     []byte
@@ -61,15 +63,47 @@ type PhysMem struct {
 	stats    *sim.Stats
 }
 
+// physmemPool recycles whole PhysMem shells (the page-frame array and
+// free list) between machine boots. Harnesses that churn through
+// machines hand them back via Recycle; a pooled shell whose arrays are
+// too small for the requested size is simply replaced.
+var physmemPool = sync.Pool{New: func() any { return new(PhysMem) }}
+
 // New returns physical memory with npages frames, all free.
 func New(npages int, stats *sim.Stats) *PhysMem {
-	m := &PhysMem{pages: make([]page, npages), stats: stats}
-	m.freeList = make([]PageNo, 0, npages)
+	m := physmemPool.Get().(*PhysMem)
+	m.stats = stats
+	m.useClock = 0
+	if cap(m.pages) >= npages {
+		m.pages = m.pages[:npages]
+	} else {
+		m.pages = make([]page, npages)
+	}
+	if cap(m.freeList) >= npages {
+		m.freeList = m.freeList[:0]
+	} else {
+		m.freeList = make([]PageNo, 0, npages)
+	}
 	for i := npages - 1; i >= 0; i-- {
 		m.pages[i].free = true
 		m.freeList = append(m.freeList, PageNo(i))
 	}
 	return m
+}
+
+// Recycle tears the memory down for reuse: every lazily-materialized
+// frame buffer goes back to bufpool and the shell itself is pooled for
+// the next New. The caller promises no reference into this PhysMem —
+// page data included — survives the call.
+func (m *PhysMem) Recycle() {
+	for i := range m.pages {
+		if d := m.pages[i].data; d != nil {
+			bufpool.Put(d)
+		}
+	}
+	clear(m.pages)
+	m.stats = nil
+	physmemPool.Put(m)
 }
 
 // NumPages returns the total number of physical frames.
@@ -86,7 +120,7 @@ func (m *PhysMem) valid(p PageNo) bool {
 // Alloc takes a frame off the free list and guards it with guard.
 // The caller (an environment) chose to allocate — allocation is always
 // explicit and visible.
-func (m *PhysMem) Alloc(guard cap.Capability) (PageNo, error) {
+func (m *PhysMem) Alloc(guard xcap.Capability) (PageNo, error) {
 	n := len(m.freeList)
 	if n == 0 {
 		return NoPage, ErrNoMemory
@@ -103,7 +137,7 @@ func (m *PhysMem) Alloc(guard cap.Capability) (PageNo, error) {
 
 // AllocSpecific allocates the named frame if it is free, honoring the
 // "expose allocation: specific resources can be requested" principle.
-func (m *PhysMem) AllocSpecific(p PageNo, guard cap.Capability) error {
+func (m *PhysMem) AllocSpecific(p PageNo, guard xcap.Capability) error {
 	if !m.valid(p) {
 		return ErrBadPage
 	}
@@ -128,7 +162,7 @@ func (m *PhysMem) AllocSpecific(p PageNo, guard cap.Capability) error {
 // power over the page's guard and the page must be unreferenced —
 // revocation is explicit and applications choose *which* page to give
 // up.
-func (m *PhysMem) Free(p PageNo, creds cap.Credentials) error {
+func (m *PhysMem) Free(p PageNo, creds xcap.Credentials) error {
 	if !m.valid(p) {
 		return ErrBadPage
 	}
@@ -143,7 +177,10 @@ func (m *PhysMem) Free(p PageNo, creds cap.Credentials) error {
 		return ErrPageInUse
 	}
 	pg.free = true
-	pg.data = nil
+	// Keep the frame buffer attached (zeroed) rather than dropping it to
+	// the GC: a later Alloc of this frame sees the same fresh-page
+	// semantics, without re-allocating 4 KB.
+	clear(pg.data)
 	m.freeList = append(m.freeList, p)
 	return nil
 }
@@ -151,7 +188,7 @@ func (m *PhysMem) Free(p PageNo, creds cap.Credentials) error {
 // Access verifies that creds allow (write?) access to frame p. Access
 // control happens at map/bind time (secure bindings); the simulation
 // calls this wherever Xok would check a binding.
-func (m *PhysMem) Access(p PageNo, creds cap.Credentials, write bool) error {
+func (m *PhysMem) Access(p PageNo, creds xcap.Credentials, write bool) error {
 	if !m.valid(p) {
 		return ErrBadPage
 	}
@@ -166,7 +203,7 @@ func (m *PhysMem) Access(p PageNo, creds cap.Credentials, write bool) error {
 }
 
 // SetGuard re-guards a page; requires current write power.
-func (m *PhysMem) SetGuard(p PageNo, creds cap.Credentials, guard cap.Capability) error {
+func (m *PhysMem) SetGuard(p PageNo, creds xcap.Credentials, guard xcap.Capability) error {
 	if err := m.Access(p, creds, true); err != nil {
 		return err
 	}
@@ -175,9 +212,9 @@ func (m *PhysMem) SetGuard(p PageNo, creds cap.Credentials, guard cap.Capability
 }
 
 // Guard returns the page's guard capability (exposed information).
-func (m *PhysMem) Guard(p PageNo) (cap.Capability, error) {
+func (m *PhysMem) Guard(p PageNo) (xcap.Capability, error) {
 	if !m.valid(p) || m.pages[p].free {
-		return cap.Capability{}, ErrBadPage
+		return xcap.Capability{}, ErrBadPage
 	}
 	return m.pages[p].guard, nil
 }
@@ -221,7 +258,7 @@ func (m *PhysMem) Data(p PageNo) []byte {
 	}
 	pg := &m.pages[p]
 	if pg.data == nil {
-		pg.data = make([]byte, sim.PageSize)
+		pg.data = bufpool.Get()
 	}
 	pg.lastUse = m.touchClock()
 	return pg.data

@@ -97,17 +97,17 @@ func (c *Conn) clientDeliver(pkt *Packet) {
 
 // sendSyn opens (or re-opens) the handshake.
 func (c *Conn) sendSyn() {
-	syn := &Packet{SrcPort: c.clientPort, DstPort: ServerPort, Flags: FlagSYN, Conn: c}
+	syn := c.net.newPacket()
+	syn.SrcPort, syn.DstPort, syn.Flags, syn.Conn = c.clientPort, ServerPort, FlagSYN, c
 	c.net.xmit(c.link, toServer, syn, c.net.serverRx)
 }
 
 // sendRequest piggybacks the HTTP request (a ~200-byte GET) on the
 // client's handshake ACK.
 func (c *Conn) sendRequest() {
-	req := &Packet{
-		SrcPort: c.clientPort, DstPort: ServerPort,
-		Flags: FlagACK | FlagPSH, Payload: requestBytes, Conn: c,
-	}
+	req := c.net.newPacket()
+	req.SrcPort, req.DstPort, req.Conn = c.clientPort, ServerPort, c
+	req.Flags, req.Payload = FlagACK|FlagPSH, requestBytes
 	c.net.xmit(c.link, toServer, req, c.net.serverRx)
 }
 
@@ -162,11 +162,18 @@ func (c *Conn) traceDone() {
 // sendAck transmits a cumulative ACK carrying the client's in-order
 // byte count.
 func (c *Conn) sendAck() {
-	ack := &Packet{
-		SrcPort: c.clientPort, DstPort: ServerPort,
-		Flags: FlagACK, Ack: c.got, Conn: c,
-	}
+	ack := c.net.newPacket()
+	ack.SrcPort, ack.DstPort, ack.Conn = c.clientPort, ServerPort, c
+	ack.Flags, ack.Ack = FlagACK, c.got
 	c.net.xmit(c.link, toServer, ack, c.net.serverRx)
+}
+
+// deliverAndRelease consumes one client-bound delivery: unlike the
+// server path, the client processes a segment synchronously, so the
+// reference drops as soon as clientDeliver returns.
+func (c *Conn) deliverAndRelease(pkt *Packet) {
+	c.clientDeliver(pkt)
+	c.net.release(pkt)
 }
 
 // sendToClient transmits a server segment; Net.xmit applies the fault
@@ -178,8 +185,10 @@ func (c *Conn) sendToClient(flags uint8, payload, seq int) {
 			trace.Arg{Key: "seq", Val: strconv.Itoa(seq)},
 			trace.Arg{Key: "payload", Val: strconv.Itoa(payload)})
 	}
-	pkt := &Packet{SrcPort: ServerPort, DstPort: c.clientPort, Flags: flags, Payload: payload, Seq: seq, Conn: c}
-	c.net.xmit(c.link, toClient, pkt, c.clientDeliver)
+	pkt := c.net.newPacket()
+	pkt.SrcPort, pkt.DstPort, pkt.Conn = ServerPort, c.clientPort, c
+	pkt.Flags, pkt.Payload, pkt.Seq = flags, payload, seq
+	c.net.xmit(c.link, toClient, pkt, c.deliverAndRelease)
 }
 
 // ClientPool drives nClients closed-loop HTTP clients against the

@@ -48,16 +48,28 @@ type Packet struct {
 	Seq     int // first payload byte's offset in the response stream
 	Ack     int // client ACK: bytes received in order
 	Conn    *Conn
+
+	// refs counts pending deliveries of this exact packet object (a
+	// fault-plan duplication puts the same pointer on the wire twice).
+	// When it reaches zero the packet returns to the Net's freelist.
+	refs int
 }
 
-// Header renders the bytes the packet filter engine matches: dst port,
-// src port, flags.
+// HeaderInto renders the bytes the packet filter engine matches — dst
+// port, src port, flags — into buf (len >= 5), returning buf[:5]. The
+// receive path reuses one per-Net buffer: the filter engine matches and
+// never retains.
+func (p *Packet) HeaderInto(buf []byte) []byte {
+	_ = buf[4]
+	binary.BigEndian.PutUint16(buf[0:], p.DstPort)
+	binary.BigEndian.PutUint16(buf[2:], p.SrcPort)
+	buf[4] = p.Flags
+	return buf[:5]
+}
+
+// Header renders the match bytes into a fresh slice.
 func (p *Packet) Header() []byte {
-	h := make([]byte, 5)
-	binary.BigEndian.PutUint16(h[0:], p.DstPort)
-	binary.BigEndian.PutUint16(h[2:], p.SrcPort)
-	h[4] = p.Flags
-	return h
+	return p.HeaderInto(make([]byte, 5))
 }
 
 // Link is one full-duplex Ethernet.
@@ -101,6 +113,32 @@ type Net struct {
 	plan *fault.Plan // the machine's fault plan (nil = none)
 
 	stack *Stack
+
+	// freePkts recycles Packet objects machine-locally: a saturated
+	// Figure 3 run sends hundreds of thousands of segments whose
+	// lifetime is a few events. The whole machine is sequential (engine
+	// callbacks and environment goroutines alternate), so no locking.
+	freePkts []*Packet
+	hdrBuf   [5]byte // serverRx filter-match scratch
+}
+
+// newPacket returns a zeroed Packet from the freelist (or the heap).
+func (n *Net) newPacket() *Packet {
+	if k := len(n.freePkts); k > 0 {
+		p := n.freePkts[k-1]
+		n.freePkts = n.freePkts[:k-1]
+		*p = Packet{}
+		return p
+	}
+	return &Packet{}
+}
+
+// release drops one pending delivery; the last one frees the packet.
+func (n *Net) release(p *Packet) {
+	p.refs--
+	if p.refs == 0 {
+		n.freePkts = append(n.freePkts, p)
+	}
 }
 
 // New wires sim.NumLinks Ethernets to the kernel's machine.
@@ -119,11 +157,17 @@ func New(k *kernel.Kernel) *Net {
 // wire time — the frame went out, it just never arrives. A duplicated
 // segment is sent twice back to back; a reordered one has its delivery
 // delayed a few frame times so that successors overtake it.
+// Each copy carries one reference; a lost copy releases it on
+// "arrival", a delivered copy passes it to deliver, which owns it from
+// then on (serverRx hands it to the ring and the server loop releases
+// after processing; the client path releases as soon as clientDeliver
+// returns).
 func (n *Net) xmit(link *Link, dir int, pkt *Packet, deliver func(*Packet)) {
 	copies := 1
 	if n.plan.DupSegment() {
 		copies = 2
 	}
+	pkt.refs = copies
 	for i := 0; i < copies; i++ {
 		lost := n.LossRate > 0 && n.lossRNG.Intn(n.LossRate) == 0
 		if n.plan.DropSegment() {
@@ -135,6 +179,7 @@ func (n *Net) xmit(link *Link, dir int, pkt *Packet, deliver func(*Packet)) {
 		}
 		link.transmit(dir, pkt.Payload, func() {
 			if lost {
+				n.release(pkt)
 				return
 			}
 			if delay > 0 {
@@ -155,12 +200,14 @@ func (n *Net) serverRx(pkt *Packet) {
 		tr.Instant(n.K.TracePID, pkt.Conn.lane(), "net", "rx", n.Eng.Now())
 	}
 	n.K.ChargeInterrupt(sim.CostPacketFilter)
-	owner, ok := n.DPF.Dispatch(pkt.Header())
+	owner, ok := n.DPF.Dispatch(pkt.HeaderInto(n.hdrBuf[:]))
 	if !ok {
+		n.release(pkt)
 		return // no filter claims it: dropped
 	}
 	ring, ok := owner.(*ring)
 	if !ok {
+		n.release(pkt)
 		return
 	}
 	ring.push(pkt)

@@ -110,6 +110,8 @@ func (s *Stack) loop() {
 				s.retireConn(c)
 			}
 		}
+		// The ring handed us this delivery; processing is done.
+		s.net.release(pkt)
 	}
 }
 
@@ -208,7 +210,9 @@ func (s *Stack) armRTO(c *Conn) {
 		if c.srvDone || s.net.Eng.Now() >= s.stopAt {
 			return
 		}
-		s.inbox = append(s.inbox, &Packet{Flags: flagRetransmit, Conn: c})
+		mp := s.net.newPacket()
+		mp.Flags, mp.Conn, mp.refs = flagRetransmit, c, 1
+		s.inbox = append(s.inbox, mp)
 		s.net.K.Wake(s.env)
 	})
 }

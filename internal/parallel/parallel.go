@@ -59,20 +59,41 @@ func Stream[R any](workers, n int, produce func(int) R, consume func(int, R) boo
 		i int
 		r R
 	}
+	// Permit protocol: a worker takes one permit per index it claims and
+	// the consumer returns one per result it consumes. Claimed-but-
+	// unconsumed indices therefore never exceed the worker count, which
+	// is exactly the reorder-buffer bound: without it, one slow index
+	// lets fast workers race ahead and buffer up to n results. done is
+	// closed on early stop so blocked workers exit instead of waiting
+	// for permits that will never come back.
+	permits := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		permits <- struct{}{}
+	}
+	done := make(chan struct{})
 	out := make(chan indexed, workers)
 	var next atomic.Int64
-	var stop atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1) - 1)
-				if i >= n || stop.Load() {
+				select {
+				case <-permits:
+				case <-done:
 					return
 				}
-				out <- indexed{i, produce(i)}
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				r := produce(i)
+				select {
+				case out <- indexed{i, r}:
+				case <-done:
+					return
+				}
 			}
 		}()
 	}
@@ -82,27 +103,42 @@ func Stream[R any](workers, n int, produce func(int) R, consume func(int, R) boo
 	}()
 
 	// Reorder buffer: results arrive in completion order, leave in
-	// index order. Bounded by the worker count (a worker can be at
-	// most one result ahead of the slowest outstanding index).
+	// index order. The permit protocol above caps its size at the
+	// worker count.
 	pending := make(map[int]R, workers)
-	ready := make(map[int]bool, workers)
 	want := 0
 	stopped := false
 	for r := range out {
 		pending[r.i] = r.r
-		ready[r.i] = true
-		for ready[want] {
-			v := pending[want]
+		if streamPendingObserver != nil {
+			streamPendingObserver(len(pending))
+		}
+		for {
+			v, ok := pending[want]
+			if !ok {
+				break
+			}
 			delete(pending, want)
-			delete(ready, want)
-			if !stopped && !consume(want, v) {
-				stopped = true
-				stop.Store(true)
+			if !stopped {
+				if !consume(want, v) {
+					stopped = true
+					close(done)
+				} else {
+					// Return the permit. Never blocks: at most `workers`
+					// permits exist and this one was held by the index
+					// just consumed.
+					permits <- struct{}{}
+				}
 			}
 			want++
 		}
 	}
 }
+
+// streamPendingObserver, when non-nil, receives the reorder buffer's
+// size after each insertion. Test hook: the bound test asserts the
+// buffer never exceeds the worker count.
+var streamPendingObserver func(size int)
 
 // Map runs f(i) for i in [0, n) on up to workers goroutines and
 // returns the n results in index order.

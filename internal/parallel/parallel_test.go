@@ -3,6 +3,7 @@ package parallel
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -118,6 +119,96 @@ func TestMapErrFirstByIndex(t *testing.T) {
 	}
 	if err := MapErr(4, 10, func(int) error { return nil }); err != nil {
 		t.Fatalf("clean run returned %v", err)
+	}
+}
+
+func TestStreamReorderBufferBounded(t *testing.T) {
+	// One slow head index while every other produce returns instantly:
+	// fast workers race ahead of index 0, and each completed-but-
+	// unconsumable result parks in the reorder buffer. The permit
+	// protocol must cap that buffer at the worker count; the unbounded
+	// version buffered up to n results here.
+	const workers, n = 4, 200
+	maxPending := 0
+	streamPendingObserver = func(size int) {
+		if size > maxPending {
+			maxPending = size
+		}
+	}
+	defer func() { streamPendingObserver = nil }()
+
+	var got []int
+	Stream(workers, n, func(i int) int {
+		if i == 0 {
+			time.Sleep(20 * time.Millisecond)
+		}
+		return i
+	}, func(i, r int) bool {
+		got = append(got, r)
+		return true
+	})
+	if maxPending > workers {
+		t.Fatalf("reorder buffer reached %d entries, documented bound is the worker count (%d)", maxPending, workers)
+	}
+	if len(got) != n {
+		t.Fatalf("consumed %d results, want %d", len(got), n)
+	}
+	for i, r := range got {
+		if r != i {
+			t.Fatalf("result[%d] = %d: order lost", i, r)
+		}
+	}
+}
+
+func TestStreamEarlyStopNoLeakNoLoss(t *testing.T) {
+	// Early stop with slow producers still in flight: Stream must (1)
+	// consume exactly the prefix, in order, (2) stop claiming new
+	// indices, and (3) return only after every worker goroutine has
+	// exited — nothing may keep running or block forever on the permit
+	// or output channels.
+	const workers, n = 4, 1000
+	before := runtime.NumGoroutine()
+
+	var produced atomic.Int64
+	var got []int
+	doneCh := make(chan struct{})
+	go func() {
+		defer close(doneCh)
+		Stream(workers, n, func(i int) int {
+			produced.Add(1)
+			if i > 1 {
+				time.Sleep(5 * time.Millisecond) // in flight while the stop lands
+			}
+			return i
+		}, func(i, r int) bool {
+			got = append(got, r)
+			return i != 1 // stop after consuming index 1
+		})
+	}()
+	select {
+	case <-doneCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Stream did not return after early stop (worker deadlock)")
+	}
+
+	if want := []int{0, 1}; len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("consumed %v, want %v", got, want)
+	}
+	// No new claims after the stop: every produce call traces to a
+	// permit issued before done closed — the initial `workers` permits
+	// plus one returned for the single successful consume (plus one for
+	// a worker that won a permit/done race at the instant of the stop).
+	if p := produced.Load(); p > int64(workers+2) {
+		t.Fatalf("produced %d results after early stop, want <= %d (production did not stop)", p, workers+2)
+	}
+	// Worker goroutines are gone (poll briefly: exiting goroutines are
+	// counted until the scheduler reaps them).
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Fatalf("%d goroutines alive after Stream returned, %d before it started: leak", g, before)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Assemble translates UDF assembly text into a Program. The syntax is
@@ -191,14 +192,28 @@ func Assemble(name, src string) (*Program, error) {
 	return p, nil
 }
 
+// asmCache memoizes MustAssemble results. The file-system templates
+// assemble the same handful of UDF sources on every machine boot —
+// a third of all allocations in a difftest campaign before caching —
+// and a Program is never mutated after assembly (Run only reads it),
+// so one shared copy per distinct source is safe even across the
+// worker goroutines of internal/parallel.
+var asmCache sync.Map // name+"\x00"+src -> *Program
+
 // MustAssemble is Assemble for compile-time-constant sources (template
-// definitions); it panics on error.
+// definitions); it panics on error. Results are memoized: repeated
+// calls with the same name and source return one shared *Program.
 func MustAssemble(name, src string) *Program {
+	key := name + "\x00" + src
+	if p, ok := asmCache.Load(key); ok {
+		return p.(*Program)
+	}
 	p, err := Assemble(name, src)
 	if err != nil {
 		panic(err)
 	}
-	return p
+	actual, _ := asmCache.LoadOrStore(key, p)
+	return actual.(*Program)
 }
 
 // Disassemble renders the program back to text (labels synthesized as

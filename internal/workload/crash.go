@@ -134,13 +134,15 @@ func CrashEnumerate(cfg CrashConfig) (CrashResult, error) {
 	var werr error
 	probe.SpawnProc("crash-mab", 0, func(p unix.Proc) { werr = crashWorkload(p) })
 	probe.Run()
+	probeName := probe.Name()
+	probe.Close()
 	if werr != nil {
 		return CrashResult{}, fmt.Errorf("crash workload: %w", werr)
 	}
 	if len(boundaries) == 0 {
 		return CrashResult{}, errors.New("crash workload produced no write boundaries")
 	}
-	res := CrashResult{System: probe.Name(), Boundaries: len(boundaries)}
+	res := CrashResult{System: probeName, Boundaries: len(boundaries)}
 
 	pts := boundaries
 	if len(pts) > cfg.MaxPoints {
@@ -159,7 +161,10 @@ func CrashEnumerate(cfg CrashConfig) (CrashResult, error) {
 		m, _ := boot()
 		m.SpawnProc("crash-mab", 0, func(p unix.Proc) { _ = crashWorkload(p) })
 		img := m.Crash(at)
+		// AuditImage consumes img; Close recycles the crashed machine's
+		// buffers for the next trial's boot.
 		viols := cffs.AuditImage(img, cfg.DiskBlocks, "cffs", cffs.DefaultConfig())
+		m.Close()
 		return CrashPoint{At: at, Violations: viols}
 	})
 

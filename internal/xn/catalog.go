@@ -26,10 +26,37 @@ type catalogImage struct {
 	Roots     []Root
 }
 
+// SuspendCatalogueFlush defers catalogue write-through until the
+// matching ResumeCatalogueFlush. mkfs installs a handful of templates
+// and roots back to back; re-serializing the whole catalogue after each
+// one is pure overhead, so the format path brackets its setup with a
+// suspend/resume pair and pays for one flush. Calls nest. The deferred
+// state is only in-memory maps — crash boundaries cannot fall inside
+// the bracket because catalogue writes use the untimed PokeBlock path
+// and the machine has run no timed work yet.
+func (x *XN) SuspendCatalogueFlush() { x.catFlushHold++ }
+
+// ResumeCatalogueFlush re-enables write-through and performs the flush
+// skipped while suspended, if any.
+func (x *XN) ResumeCatalogueFlush() {
+	if x.catFlushHold == 0 {
+		panic("xn: ResumeCatalogueFlush without suspend")
+	}
+	x.catFlushHold--
+	if x.catFlushHold == 0 && x.catFlushDirty {
+		x.catFlushDirty = false
+		x.flushCatalogues()
+	}
+}
+
 // flushCatalogues serializes the catalogues into the reserved blocks.
 // Catalogue updates (template installs, root registrations) are rare
 // setup operations; they are written through immediately.
 func (x *XN) flushCatalogues() {
+	if x.catFlushHold > 0 {
+		x.catFlushDirty = true
+		return
+	}
 	img := catalogImage{NextTmpl: x.nextTmpl}
 	for _, t := range x.templates {
 		img.Templates = append(img.Templates, *t)
@@ -40,23 +67,29 @@ func (x *XN) flushCatalogues() {
 	}
 	sort.Slice(img.Roots, func(i, j int) bool { return img.Roots[i].Name < img.Roots[j].Name })
 
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&img); err != nil {
+	x.catBuf.Reset()
+	if err := gob.NewEncoder(&x.catBuf).Encode(&img); err != nil {
 		panic(fmt.Sprintf("xn: catalogue encode: %v", err))
 	}
 	capacity := (tmplCatBlocks + rootCatBlocks) * sim.DiskBlockSize
-	if buf.Len() > capacity {
-		panic(fmt.Sprintf("xn: catalogue image %d bytes exceeds reserved area %d", buf.Len(), capacity))
+	if x.catBuf.Len() > capacity {
+		panic(fmt.Sprintf("xn: catalogue image %d bytes exceeds reserved area %d", x.catBuf.Len(), capacity))
 	}
 
-	super := make([]byte, sim.DiskBlockSize)
-	binary.LittleEndian.PutUint32(super[0:], superMagic)
-	binary.LittleEndian.PutUint32(super[4:], uint32(buf.Len()))
-	x.D.PokeBlock(superBlock, super)
+	// One scratch block serves the superblock and every catalogue block:
+	// PokeBlock copies the bytes into the media, never retaining them.
+	if x.catScratch == nil {
+		x.catScratch = make([]byte, sim.DiskBlockSize)
+	}
+	blk := x.catScratch
+	clear(blk)
+	binary.LittleEndian.PutUint32(blk[0:], superMagic)
+	binary.LittleEndian.PutUint32(blk[4:], uint32(x.catBuf.Len()))
+	x.D.PokeBlock(superBlock, blk)
 
-	data := buf.Bytes()
+	data := x.catBuf.Bytes()
 	for i := 0; i < tmplCatBlocks+rootCatBlocks; i++ {
-		blk := make([]byte, sim.DiskBlockSize)
+		clear(blk)
 		lo := i * sim.DiskBlockSize
 		if lo < len(data) {
 			hi := lo + sim.DiskBlockSize
@@ -78,14 +111,14 @@ func (x *XN) flushCatalogues() {
 // image restores a consistent XN.
 func Mount(k *kernel.Kernel) (*XN, error) {
 	x := newEmpty(k)
-	super := x.D.PeekBlock(superBlock)
+	super := x.D.ViewBlock(superBlock)
 	if binary.LittleEndian.Uint32(super[0:]) != superMagic {
 		return nil, fmt.Errorf("xn: no XN volume on disk")
 	}
 	size := int(binary.LittleEndian.Uint32(super[4:]))
 	data := make([]byte, 0, size)
 	for i := 0; len(data) < size; i++ {
-		blk := x.D.PeekBlock(disk.BlockNo(tmplCatStart + i))
+		blk := x.D.ViewBlock(disk.BlockNo(tmplCatStart + i))
 		need := size - len(data)
 		if need > len(blk) {
 			need = len(blk)
@@ -150,7 +183,7 @@ func (x *XN) recoverGC() {
 		if !ok {
 			continue
 		}
-		data := x.D.PeekBlock(f.b)
+		data := x.D.ViewBlock(f.b)
 		extents, err := x.runOwns(nil, t, data)
 		if err != nil {
 			// A block whose owns-udf faults owns nothing; the write

@@ -588,7 +588,21 @@ func (x *XN) mutateMeta(e *kernel.Env, meta disk.BlockNo, mods []Mod, add, remov
 	if err != nil {
 		return nil, err
 	}
-	tmp := make([]byte, len(data))
+	// Trial-apply into the shared scratch when no other env holds it.
+	// Charging (runOwns below) parks this goroutine, so a second env can
+	// enter mutateMeta while we are mid-flight; that rare interleaving
+	// falls back to a private buffer instead of clobbering ours.
+	var tmp []byte
+	if !x.modScratchBusy {
+		if len(x.modScratch) < len(data) {
+			x.modScratch = make([]byte, len(data))
+		}
+		tmp = x.modScratch[:len(data)]
+		x.modScratchBusy = true
+		defer func() { x.modScratchBusy = false }()
+	} else {
+		tmp = make([]byte, len(data))
+	}
 	copy(tmp, data)
 	if err := applyMods(tmp, mods); err != nil {
 		return nil, err

@@ -30,6 +30,7 @@
 package xn
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"strconv"
@@ -178,6 +179,20 @@ type XN struct {
 	FlushBehind int
 
 	dirtyCount int
+
+	// modScratch is the reusable shadow-copy buffer mutateMeta uses to
+	// trial-apply a modification before owns-udf re-verification, sized
+	// to the largest metadata block seen. modScratchBusy marks it held
+	// across a charging park (see mutateMeta); a re-entering env then
+	// allocates privately rather than sharing.
+	modScratch     []byte
+	modScratchBusy bool
+
+	// Catalogue write-through batching and scratch (see catalog.go).
+	catFlushHold  int
+	catFlushDirty bool
+	catBuf        bytes.Buffer
+	catScratch    []byte
 }
 
 // New attaches XN to a kernel's disk and formats the volume (mkfs):

@@ -1,0 +1,56 @@
+package xok
+
+import (
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"xok/internal/difftest"
+)
+
+// TestPerfSanityParallelNotSlower is the `make perf-sanity` gate: the
+// difftest campaign fanned across 4 workers must not run meaningfully
+// slower than the identical campaign serial. It is a wall-clock test,
+// so it only runs when `make perf-sanity` opts in via XOK_PERF_SANITY —
+// inside the ordinary `go test ./...` sweep (and especially under
+// -race) the timing would be pure noise.
+//
+// The tolerance is deliberately one-sided. On a single-CPU host real
+// speedup is impossible and speedup ≈ 1 is the healthy reading; on a
+// multi-core host parallel should win outright. In both cases
+// parallel-4 losing to serial by more than the tolerance means the
+// harness is burning time on coordination or shared-state contention —
+// the zero-speedup regression this PR fixed, caught at `make check`
+// time instead of in the committed BENCH_sim.json diff.
+func TestPerfSanityParallelNotSlower(t *testing.T) {
+	if os.Getenv("XOK_PERF_SANITY") == "" {
+		t.Skip("wall-clock gate; run via `make perf-sanity` (XOK_PERF_SANITY=1)")
+	}
+	const seeds = 40
+	run := func(workers int) time.Duration {
+		start := time.Now()
+		div, err := difftest.Fuzz(difftest.Options{Seeds: seeds, Parallel: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if div != nil {
+			t.Fatalf("unexpected divergence: %v", div)
+		}
+		return time.Since(start)
+	}
+	// Warm the process-wide caches (UDF assembly memo, buffer pools) so
+	// both timed runs see steady state, then take the best of two runs
+	// each to damp scheduler noise.
+	run(1)
+	serial := min(run(1), run(1))
+	parallel := min(run(4), run(4))
+
+	limit := serial + serial/2 // 1.5x: generous, but a contended pool blows past it
+	if parallel > limit {
+		t.Fatalf("parallel-4 took %v vs serial %v on GOMAXPROCS=%d: beyond the 1.5x tolerance (%v)",
+			parallel, serial, runtime.GOMAXPROCS(0), limit)
+	}
+	t.Logf("serial %v, parallel-4 %v, speedup %.2fx (GOMAXPROCS=%d)",
+		serial, parallel, float64(serial)/float64(parallel), runtime.GOMAXPROCS(0))
+}
