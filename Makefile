@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race crash fuzz-smoke race-parallel perf-sanity check bench
+.PHONY: all build fmt vet test race crash fuzz-smoke race-parallel perf-sanity cluster-smoke check bench
 
 all: check
 
@@ -50,6 +50,14 @@ race-parallel:
 perf-sanity:
 	XOK_PERF_SANITY=1 $(GO) test -run TestPerfSanityParallelNotSlower -count=1 -v .
 
+# Cluster smoke: a small topology-fabric sweep (1 server vs 2 behind
+# the balancer) end to end through the xok-bench CLI. Guards the whole
+# shared-engine path — N kernels on one event engine, the balancer,
+# open-loop arrivals — and its serial/parallel determinism (the full
+# byte-identical check lives in TestClusterParallelMatchesSerial).
+cluster-smoke:
+	$(GO) run ./cmd/xok-bench -run cluster -servers 2 -conns 300
+
 # The full pre-commit gate: everything compiles, the tree is gofmt
 # clean, vet is clean, the whole suite passes under the race detector
 # (the token-handoff protocol in internal/sim is exactly the kind of
@@ -57,7 +65,7 @@ perf-sanity:
 # crash-enumeration sweep re-runs, the differential fuzz smoke
 # campaign comes back clean, and the parallel harness is not slower
 # than serial.
-check: build fmt vet race race-parallel crash fuzz-smoke perf-sanity
+check: build fmt vet race race-parallel crash fuzz-smoke cluster-smoke perf-sanity
 
 # Wall-clock benchmark baseline, committed as BENCH_sim.json so engine
 # or harness regressions show up as a diff. Two tiers: the engine
@@ -73,10 +81,11 @@ BENCH_EXPECT = BenchmarkEngineStepAfter16,BenchmarkEngineStepAfter1024,\
 BenchmarkEngineStepAfterArg16,BenchmarkEngineStepAfterArg1024,\
 BenchmarkEngineScheduleCancel,BenchmarkMAB/Xok-ExOS,BenchmarkMAB/FreeBSD,\
 BenchmarkDifftest100Serial,BenchmarkDifftest100Parallel4,\
-BenchmarkCrashSweepSerial,BenchmarkCrashSweepParallel4
+BenchmarkCrashSweepSerial,BenchmarkCrashSweepParallel4,\
+BenchmarkClusterSerial,BenchmarkClusterParallel4
 
 bench:
 	@{ $(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem ./internal/sim/ && \
-	   $(GO) test -run '^$$' -bench 'BenchmarkMAB$$|BenchmarkDifftest100|BenchmarkCrashSweep' -benchmem -benchtime=1x . ; } \
+	   $(GO) test -run '^$$' -bench 'BenchmarkMAB$$|BenchmarkDifftest100|BenchmarkCrashSweep|BenchmarkCluster' -benchmem -benchtime=1x . ; } \
 	  | $(GO) run ./cmd/benchjson -expect '$(BENCH_EXPECT)' > BENCH_sim.json
 	@echo "wrote BENCH_sim.json"

@@ -267,7 +267,7 @@ func BenchmarkFigure3_HTTP(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/%dB", kind, size), func(b *testing.B) {
 				var rps, mbps float64
 				for i := 0; i < b.N; i++ {
-					r, err := httpd.Measure(kind, size, 24, 200*sim.Millisecond, nil)
+					r, err := httpd.Measure(kind, size, httpd.Opts{Clients: 24, Duration: 200 * sim.Millisecond})
 					if err != nil {
 						b.Fatal(err)
 					}

@@ -64,7 +64,7 @@ import (
 )
 
 var (
-	runFlag      = flag.String("run", "all", "experiment to run (all, figure2, mab, protection, table2, figure3, figure4, figure5, emulator, xcp, crash, difftest)")
+	runFlag      = flag.String("run", "all", "experiment to run (all, figure2, mab, protection, table2, figure3, figure4, figure5, emulator, xcp, crash, difftest, cluster)")
 	fullFlag     = flag.Bool("full", false, "run Figures 4/5 at full size (35 jobs); slower")
 	traceFlag    = flag.String("trace", "", "write a Chrome trace_event JSON timeline of every simulated machine to this file")
 	histFlag     = flag.Bool("hist", false, "print per-machine latency histograms (p50/p90/p99) after the experiments")
@@ -74,6 +74,9 @@ var (
 	baseFlag     = flag.Uint64("base", 1, "difftest: first seed (seed i = base+i)")
 	replayFlag   = flag.String("replay", "", "difftest: replay one seed:steps:keep token instead of fuzzing")
 	parallelFlag = flag.Int("parallel", 0, "worker count for independent simulated machines (0 = one per CPU, 1 = serial); stdout is byte-identical at any setting")
+	serversFlag  = flag.Int("servers", 4, "cluster: backend machine count")
+	connsFlag    = flag.Int("conns", 2000, "cluster: open-loop connection arrivals per cell")
+	rateFlag     = flag.Float64("rate", 0, "cluster: offered arrivals per virtual second (0 = default)")
 )
 
 // bench carries the shared experiment knobs: the optional trace sink
@@ -102,8 +105,9 @@ func main() {
 		"xcp":        xcp,
 		"crash":      crash,
 		"difftest":   diffFuzz,
+		"cluster":    cluster,
 	}
-	order := []string{"figure2", "mab", "protection", "table2", "emulator", "xcp", "crash", "difftest", "figure3", "figure4", "figure5"}
+	order := []string{"figure2", "mab", "protection", "table2", "emulator", "xcp", "crash", "difftest", "figure3", "figure4", "figure5", "cluster"}
 	if *runFlag == "all" {
 		for _, name := range order {
 			timed(name, experiments[name])
@@ -381,6 +385,18 @@ func diffFuzz() {
 		os.Exit(1)
 	}
 	fmt.Printf("\nclean: zero divergences across %d programs\n", opt.Seeds)
+}
+
+func cluster() {
+	header("Cluster — N-machine HTTP serving, open-loop load (topology fabric)")
+	fmt.Println("Socket/Xok servers behind a balancer; tail latency from internal/trace")
+	cells := workload.ClusterCells(*serversFlag, *connsFlag, *rateFlag)
+	rs, err := bench.Cluster(cells)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	workload.WriteClusterReport(os.Stdout, rs)
 }
 
 func crash() {

@@ -20,7 +20,7 @@ func main() {
 	kinds := []httpd.Kind{httpd.NCSABSd, httpd.SocketBSD, httpd.SocketXok, httpd.Cheetah}
 	for _, size := range []int{0, 1024, 102400} {
 		for _, kind := range kinds {
-			r, err := httpd.Measure(kind, size, 24, 300*sim.Millisecond, nil)
+			r, err := httpd.Measure(kind, size, httpd.Opts{Clients: 24, Duration: 300 * sim.Millisecond})
 			if err != nil {
 				log.Fatalf("%v@%d: %v", kind, size, err)
 			}

@@ -79,6 +79,10 @@ type Config struct {
 	// default).
 	Trace  *trace.Tracer
 	Faults *fault.Plan
+
+	// Eng attaches the machine to a shared event engine (nil = build a
+	// private one); see kernel.Config.Eng.
+	Eng *sim.Engine
 }
 
 // System is one booted BSD machine.
@@ -113,6 +117,7 @@ func Boot(v Variant, cfg Config) *System {
 		StripeUnit: cfg.StripeUnit,
 		Trace:      cfg.Trace,
 		Faults:     cfg.Faults,
+		Eng:        cfg.Eng,
 	})
 	x := xn.New(k)
 	x.FreeCost = true   // in-kernel FS: no protection-boundary charging

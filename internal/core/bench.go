@@ -25,6 +25,14 @@ import (
 // setting, including 1 (which takes internal/parallel's no-goroutine
 // serial path).
 type Bench struct {
+	BenchOpts
+}
+
+// BenchOpts are the cross-cutting experiment knobs — the options
+// every experiment accepts without threading them positionally
+// through internal/workload. The zero value is a serial, untraced
+// run.
+type BenchOpts struct {
 	// Trace, when non-nil, collects every leg's spans, histograms and
 	// counters (cmd/xok-bench feeds -trace/-hist from it).
 	Trace *trace.Tracer
@@ -151,11 +159,22 @@ func (b *Bench) Figure3(clients int, duration sim.Time) ([]httpd.Result, error) 
 	sizes := httpd.Figure3Sizes
 	return runLegs(b, len(kinds)*len(sizes), func(i int, tr *trace.Tracer) (httpd.Result, error) {
 		kind, size := kinds[i/len(sizes)], sizes[i%len(sizes)]
-		r, err := httpd.Measure(kind, size, clients, duration, tr)
+		r, err := httpd.Measure(kind, size, httpd.Opts{Clients: clients, Duration: duration, Trace: tr})
 		if err != nil {
 			return r, fmt.Errorf("%v@%d: %w", kind, size, err)
 		}
 		return r, nil
+	})
+}
+
+// Cluster runs the topology-aware cluster cells — each cell boots its
+// own fabric and machines, so cells are independent legs. Results and
+// the merged latency digests are identical at every Parallel setting.
+func (b *Bench) Cluster(cells []workload.ClusterConfig) ([]workload.ClusterResult, error) {
+	return runLegs(b, len(cells), func(i int, tr *trace.Tracer) (workload.ClusterResult, error) {
+		cfg := cells[i]
+		cfg.Trace = tr
+		return workload.Cluster(cfg)
 	})
 }
 

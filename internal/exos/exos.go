@@ -59,6 +59,10 @@ type Config struct {
 	// default, costing one nil check per decision point).
 	Trace  *trace.Tracer
 	Faults *fault.Plan
+
+	// Eng attaches the machine to a shared event engine (nil = build a
+	// private one); see kernel.Config.Eng.
+	Eng *sim.Engine
 }
 
 // System is one booted Xok/ExOS machine.
@@ -96,6 +100,7 @@ func Boot(cfg Config) *System {
 		StripeUnit: cfg.StripeUnit,
 		Trace:      cfg.Trace,
 		Faults:     cfg.Faults,
+		Eng:        cfg.Eng,
 	})
 	x := xn.New(k)
 	x.FlushBehind = 512 // C-FFS flush-behind: ~2 MB of dirty data max

@@ -61,8 +61,10 @@ func Kinds() []Kind {
 	return []Kind{NCSABSd, HarvestBSD, SocketBSD, SocketXok, Cheetah}
 }
 
-// Protocol cost profiles (Section 7.3 calibration; see EXPERIMENTS.md).
-func (k Kind) stackConfig() netsim.StackConfig {
+// StackProfile is the server's protocol cost profile (Section 7.3
+// calibration; see EXPERIMENTS.md). Exported so other harnesses (the
+// cluster experiment) can serve with the same calibrated stacks.
+func (k Kind) StackProfile() netsim.StackConfig {
 	switch k {
 	case NCSABSd:
 		return netsim.StackConfig{
@@ -114,12 +116,36 @@ type Result struct {
 
 const nDocs = 16
 
-// Measure runs one server at one document size for the given virtual
-// duration with `clients` closed-loop clients. tr, when non-nil,
-// receives the machine's spans and histograms; it must not be shared
-// with a machine running concurrently (internal/parallel callers pass
-// a fresh tracer per leg and merge afterwards).
-func Measure(kind Kind, docSize, clients int, duration sim.Time, tr *trace.Tracer) (Result, error) {
+// Opts bundles the measurement knobs so call sites stop threading
+// them positionally (Clients defaults to 24, Duration to 300 virtual
+// ms).
+type Opts struct {
+	// Clients is the closed-loop client count.
+	Clients int
+	// Duration is the measured virtual time window.
+	Duration sim.Time
+	// Trace, when non-nil, receives the machine's spans and
+	// histograms; it must not be shared with a machine running
+	// concurrently (internal/parallel callers pass a fresh tracer per
+	// leg and merge afterwards).
+	Trace *trace.Tracer
+}
+
+func (o Opts) withDefaults() Opts {
+	if o.Clients == 0 {
+		o.Clients = 24
+	}
+	if o.Duration == 0 {
+		o.Duration = 300 * sim.Millisecond
+	}
+	return o
+}
+
+// Measure runs one server at one document size with o.Clients
+// closed-loop clients for o.Duration of virtual time.
+func Measure(kind Kind, docSize int, o Opts) (Result, error) {
+	o = o.withDefaults()
+	tr := o.Trace
 	var k *kernel.Kernel
 	var fs *cffs.FS
 	if kind.onXok() {
@@ -161,18 +187,26 @@ func Measure(kind Kind, docSize, clients int, duration sim.Time, tr *trace.Trace
 		return Result{}, fmt.Errorf("httpd stage: %w", stageErr)
 	}
 
-	net := netsim.New(k)
-	stop := k.Now() + duration
-	pool := net.NewClientPool(clients, docSize, stop)
+	// The paper's testbed as a Topology: one client host wired to the
+	// server machine by sim.NumLinks Ethernets.
+	topo := netsim.NewTopologyOn(k.Eng)
+	topo.Faults = k.Faults
+	clientHost := topo.AddHost("clients")
+	srvHost := topo.AttachKernel("server", k)
+	for i := 0; i < sim.NumLinks; i++ {
+		topo.Link(clientHost, srvHost, netsim.LinkSpec{})
+	}
+	stop := k.Now() + o.Duration
+	pool := topo.NewClientPool(clientHost, srvHost, o.Clients, docSize, stop)
 
 	handler := makeHandler(kind, fs)
 	var serverEnv *kernel.Env
 	serverEnv = k.Spawn("httpd-"+kind.String(), func(e *kernel.Env) {
 		e.Creds = cap.UnixCreds(0)
-		net.Serve(e, kind.stackConfig(), handler, stop)
+		topo.NIC(srvHost).Serve(e, kind.StackProfile(), handler, stop)
 	})
 	k.RunUntil(stop)
-	elapsed := duration
+	elapsed := o.Duration
 
 	res := Result{
 		Server:   kind.String(),
@@ -270,7 +304,7 @@ func Figure3(clients int, duration sim.Time) ([]Result, error) {
 	var out []Result
 	for _, kind := range Kinds() {
 		for _, size := range Figure3Sizes {
-			r, err := Measure(kind, size, clients, duration, nil)
+			r, err := Measure(kind, size, Opts{Clients: clients, Duration: duration})
 			if err != nil {
 				return nil, fmt.Errorf("%v@%d: %w", kind, size, err)
 			}

@@ -11,7 +11,7 @@ const testClients = 24
 
 func measure(t *testing.T, kind Kind, size int) Result {
 	t.Helper()
-	r, err := Measure(kind, size, testClients, testDuration, nil)
+	r, err := Measure(kind, size, Opts{Clients: testClients, Duration: testDuration})
 	if err != nil {
 		t.Fatalf("%v@%d: %v", kind, size, err)
 	}

@@ -57,6 +57,17 @@ type Config struct {
 	// for env kills. Nil — the default — injects nothing and costs one
 	// nil check per decision point, the same contract as Trace.
 	Faults *fault.Plan
+
+	// Eng, when non-nil, attaches the machine to a shared event engine
+	// instead of building a private one: all machines on one engine
+	// share a single virtual clock, which is how a netsim.Topology
+	// ties a cluster of machines to one network fabric. Machines on a
+	// shared engine still serialize their environment goroutines
+	// correctly (the token-handoff protocol is per-kernel), but they
+	// must all run from the same host goroutine, and the per-machine
+	// engine event hook is skipped — an event count spanning machines
+	// belongs to no single one of them.
+	Eng *sim.Engine
 }
 
 // DefaultQuantum is a 10-ms scheduler slice.
@@ -107,7 +118,11 @@ func New(cfg Config) *Kernel {
 	if cfg.MemPages == 0 {
 		cfg.MemPages = 16384 // 64 MB
 	}
-	eng := sim.NewEngine()
+	eng := cfg.Eng
+	shared := eng != nil
+	if eng == nil {
+		eng = sim.NewEngine()
+	}
 	st := sim.NewStats()
 	k := &Kernel{
 		Eng:     eng,
@@ -131,7 +146,9 @@ func New(cfg Config) *Kernel {
 		k.Trace = tr
 		k.TracePID = tr.AddProcess(cfg.Name)
 		pid := k.TracePID
-		eng.SetEventHook(func(at sim.Time) { tr.Count(pid, "events", 1) })
+		if !shared {
+			eng.SetEventHook(func(at sim.Time) { tr.Count(pid, "events", 1) })
+		}
 		if k.Disk != nil {
 			k.Disk.SetTrace(tr, pid)
 		}

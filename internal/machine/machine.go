@@ -15,6 +15,7 @@ import (
 	"xok/internal/exos"
 	"xok/internal/fault"
 	"xok/internal/kernel"
+	"xok/internal/netsim"
 	"xok/internal/ostest"
 	"xok/internal/sim"
 	"xok/internal/trace"
@@ -85,6 +86,13 @@ type Config struct {
 	// — the default — injects nothing and costs one nil check per
 	// decision point, the same contract as Trace.
 	Faults *fault.Plan
+
+	// Net joins the machine to a shared network fabric: the kernel
+	// boots on the attachment's topology engine (one virtual clock
+	// across the whole cluster) and gets a NIC host. New fills the
+	// attachment's Host and NIC outputs. Nil — the default — boots a
+	// stand-alone machine with a private engine.
+	Net *netsim.Attachment
 }
 
 // EnvHandle identifies a spawned process.
@@ -135,6 +143,14 @@ func Personalities() []Personality {
 
 // New boots the machine cfg describes.
 func New(cfg Config) (Machine, error) {
+	var eng *sim.Engine
+	if cfg.Net != nil {
+		if cfg.Net.Topology == nil {
+			return nil, fmt.Errorf("machine: Net attachment without a topology")
+		}
+		eng = cfg.Net.Topology.Engine()
+	}
+	var m Machine
 	switch cfg.Personality {
 	case XokExOS, XokUnprotected:
 		s := exos.Boot(exos.Config{
@@ -146,11 +162,12 @@ func New(cfg Config) (Machine, error) {
 			StripeUnit:     cfg.StripeUnit,
 			Trace:          cfg.Trace,
 			Faults:         cfg.Faults,
+			Eng:            eng,
 		})
 		if cfg.Personality == XokUnprotected {
 			s.X.FreeCost = true
 		}
-		return Xok{S: s}, nil
+		m = Xok{S: s}
 	case FreeBSD, OpenBSD, OpenBSDCFFS:
 		if cfg.SharedMemPipes {
 			return nil, fmt.Errorf("machine: %s has no shared-memory pipes", cfg.Personality)
@@ -171,10 +188,21 @@ func New(cfg Config) (Machine, error) {
 			StripeUnit: cfg.StripeUnit,
 			Trace:      cfg.Trace,
 			Faults:     cfg.Faults,
+			Eng:        eng,
 		})
-		return BSD{S: s}, nil
+		m = BSD{S: s}
+	default:
+		return nil, fmt.Errorf("machine: unknown personality %d", int(cfg.Personality))
 	}
-	return nil, fmt.Errorf("machine: unknown personality %d", int(cfg.Personality))
+	if cfg.Net != nil {
+		name := cfg.Net.Name
+		if name == "" {
+			name = m.Name()
+		}
+		cfg.Net.Host = cfg.Net.Topology.AttachKernel(name, m.Kern())
+		cfg.Net.NIC = cfg.Net.Topology.NIC(cfg.Net.Host)
+	}
+	return m, nil
 }
 
 // MustNew is New for static configurations known to be valid.

@@ -11,26 +11,30 @@ import (
 // it on the wire, deliver it, release it back. A saturated Figure 3
 // run pushes hundreds of thousands of segments down this path; before
 // the freelist each one was a fresh Packet plus a fresh 5-byte header
-// slice. The only allocation left is xmit's per-copy transmit closure.
+// slice. The only allocation left is forward's per-hop transmit
+// closure (one per hop on the path).
 func TestPacketSendPathSteadyStateAllocs(t *testing.T) {
 	eng := sim.NewEngine()
-	n := &Net{Eng: eng}
-	link := &Link{eng: eng}
-	deliver := func(p *Packet) { n.release(p) }
+	tp := NewTopologyOn(eng)
+	a := tp.AddHost("a")
+	b := tp.AddHost("b")
+	tp.Link(a, b, LinkSpec{})
+	path := tp.appendPath(nil, a, b)
+	deliver := func(p *Packet) { tp.release(p) }
 
 	send := func() {
-		pkt := n.newPacket()
+		pkt := tp.newPacket()
 		pkt.SrcPort, pkt.DstPort = 9999, ServerPort
 		pkt.Flags = FlagACK | FlagPSH
 		pkt.Payload = MSS
-		n.xmit(link, toClient, pkt, deliver)
+		tp.xmit(path, pkt, deliver)
 		eng.Run()
 	}
 	send() // warm the freelist
 
 	avg := testing.AllocsPerRun(500, send)
-	// 1 = the closure xmit hands to Link.transmit. A Packet escaping the
-	// freelist or a header slice rematerializing shows up as +1.
+	// 1 = the closure forward hands to link.transmit. A Packet escaping
+	// the freelist or a header slice rematerializing shows up as +1.
 	if avg > 1 {
 		t.Fatalf("steady-state packet send path: %.1f allocs/op, want <= 1", avg)
 	}

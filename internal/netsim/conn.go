@@ -9,30 +9,55 @@ import (
 )
 
 // Conn is one HTTP/1.0 connection: server-side state plus the scripted
-// client endpoint (clients are other machines; their logic runs in
+// client endpoint (clients are other hosts; their logic runs in
 // event callbacks with no simulated-CPU accounting — the paper
 // saturates the server from multiple client hosts).
 type Conn struct {
-	net  *Net
-	link *Link
+	t       *Topology
+	fwd     []hop // client -> server path (through the balancer, if any)
+	rev     []hop // the same links walked back
+	backend *NIC  // the serving machine's interface
+
+	// Load-balancer bookkeeping: which backend slot this connection
+	// holds open (released exactly once, on completion).
+	lbRef  *lbState
+	lbIdx  int
+	lbHeld bool
+
+	// sink receives the connection's spans and latency samples
+	// (default: the backend machine's tracer; pools may redirect).
+	sink    *trace.Tracer
+	sinkPID int64
+
+	// class tags the request for per-class latency series ("" = the
+	// untagged legacy single-document workload).
+	class     int
+	className string
 
 	clientPort uint16
 	filterID   dpf.ID
 	hasFilter  bool
 
 	// Client-side state. The client accepts segments in order only
-	// (the link is FIFO; a loss leaves a hole that go-back-N
+	// (the path is FIFO; a loss leaves a hole that go-back-N
 	// retransmission fills).
 	expect    int // response bytes outstanding
 	got       int // contiguous bytes received
 	gotSynAck bool
 	started   sim.Time
 	tsReq     sim.Time  // when the server began serving the request
-	deadline  sim.Time  // client stops re-sending past this point
+	deadline  sim.Time  // client stops re-sending past this point (0 = never)
 	ctimer    sim.Event // client retransmission timer
 	onDone    func(latency sim.Time)
 	unacked   int // data segments since last client ACK
 	reqDocLen int
+
+	// Round-trip estimation. staticRTT is the path's propagation +
+	// serialization bound computed at open; rttEst only ever rises,
+	// lifted by the measured handshake RTT (monotone, so timer values
+	// are deterministic and never shrink mid-connection).
+	staticRTT sim.Time
+	rttEst    sim.Time
 
 	// Server-side retransmission state (the merged file cache /
 	// retransmission pool holds the data; nothing is re-read or
@@ -44,10 +69,50 @@ type Conn struct {
 	rto         sim.Event
 }
 
-// clientRTO is the client-side retransmission timeout: shorter than the
-// server's RTO so a stalled handshake restarts before the server's
-// timer would have a say.
+// clientRTO is the floor of the client-side retransmission timeout:
+// shorter than the server's RTO so a stalled handshake restarts
+// before the server's timer would have a say.
 const clientRTO = 60 * sim.Millisecond
+
+// adaptiveRTTMin gates measured-RTT timer scaling: a path whose
+// static round trip is at least this long gets timeouts derived from
+// the measured RTT (a fixed 60/80-ms timer under a comparable path
+// RTT fires spuriously and livelocks lossy multi-hop paths in
+// retransmission storms). LAN-scale paths keep the fixed floors — at
+// a sub-millisecond RTT the floor already dominates, and inflating it
+// with congestion-queueing samples would only slow loss recovery.
+const adaptiveRTTMin = 10 * sim.Millisecond
+
+// adaptive reports whether this connection's path is long enough for
+// measured-RTT timeouts.
+func (c *Conn) adaptive() bool { return c.staticRTT >= adaptiveRTTMin }
+
+// clientTimeout is the client retransmission timeout: the legacy
+// 60-ms floor, or 3x the path RTT estimate when the path is long.
+func (c *Conn) clientTimeout() sim.Time {
+	if c.adaptive() {
+		if v := 3 * c.rttEst; v > clientRTO {
+			return v
+		}
+	}
+	return clientRTO
+}
+
+// serverTimeout is the server RTO: the legacy 80-ms floor, or 4x the
+// path RTT estimate when the path is long (the server waits out a
+// full client-timer cycle before going back-N).
+func (c *Conn) serverTimeout() sim.Time {
+	if c.adaptive() {
+		if v := 4 * c.rttEst; v > RTO {
+			return v
+		}
+	}
+	return RTO
+}
+
+// Class returns the request-class index the connection was opened
+// with (open-loop pools tag connections; handlers pick the document).
+func (c *Conn) Class() int { return c.class }
 
 // clientDeliver handles a server->client segment at the client host.
 func (c *Conn) clientDeliver(pkt *Packet) {
@@ -59,6 +124,12 @@ func (c *Conn) clientDeliver(pkt *Packet) {
 			return // duplicate SYN-ACK
 		}
 		c.gotSynAck = true
+		// The handshake measures the path once: SYN out to SYN-ACK
+		// back. The estimate only rises (Karn-style caution: a dup
+		// SYN-ACK never produces a second, ambiguous sample).
+		if s := c.t.eng.Now() - c.started; s > c.rttEst {
+			c.rttEst = s
+		}
 		c.sendRequest()
 		return
 	}
@@ -84,31 +155,35 @@ func (c *Conn) clientDeliver(pkt *Packet) {
 		done := c.onDone
 		c.onDone = nil
 		if done != nil {
-			c.net.Eng.Cancel(c.ctimer)
+			c.t.eng.Cancel(c.ctimer)
 			c.ctimer = sim.Event{}
+			if c.lbHeld {
+				c.lbHeld = false
+				c.lbRef.active[c.lbIdx]--
+			}
 			// Final cumulative ACK so the server can retire the
 			// connection.
 			c.sendAck()
 			c.traceDone()
-			done(c.net.Eng.Now() - c.started)
+			done(c.t.eng.Now() - c.started)
 		}
 	}
 }
 
 // sendSyn opens (or re-opens) the handshake.
 func (c *Conn) sendSyn() {
-	syn := c.net.newPacket()
+	syn := c.t.newPacket()
 	syn.SrcPort, syn.DstPort, syn.Flags, syn.Conn = c.clientPort, ServerPort, FlagSYN, c
-	c.net.xmit(c.link, toServer, syn, c.net.serverRx)
+	c.t.xmit(c.fwd, syn, c.backend.rx)
 }
 
 // sendRequest piggybacks the HTTP request (a ~200-byte GET) on the
 // client's handshake ACK.
 func (c *Conn) sendRequest() {
-	req := c.net.newPacket()
+	req := c.t.newPacket()
 	req.SrcPort, req.DstPort, req.Conn = c.clientPort, ServerPort, c
 	req.Flags, req.Payload = FlagACK|FlagPSH, requestBytes
-	c.net.xmit(c.link, toServer, req, c.net.serverRx)
+	c.t.xmit(c.fwd, req, c.backend.rx)
 }
 
 // armTimer (re)schedules the client retransmission timer. The server's
@@ -117,10 +192,10 @@ func (c *Conn) sendRequest() {
 // client ACKs that leave both ends waiting. On firing it re-sends
 // whatever the exchange is missing and re-arms.
 func (c *Conn) armTimer() {
-	c.net.Eng.Cancel(c.ctimer)
-	c.ctimer = c.net.Eng.After(clientRTO, func() {
+	c.t.eng.Cancel(c.ctimer)
+	c.ctimer = c.t.eng.After(c.clientTimeout(), func() {
 		c.ctimer = sim.Event{}
-		if c.onDone == nil || c.net.Eng.Now() >= c.deadline {
+		if c.onDone == nil || (c.deadline > 0 && c.t.eng.Now() >= c.deadline) {
 			return
 		}
 		switch {
@@ -141,14 +216,15 @@ func (c *Conn) lane() int64 { return 10000 + int64(c.clientPort) }
 // traceDone emits the connection's phase spans — handshake+request
 // (SYN sent to the server starting the handler) and stream (response
 // bytes until the client has everything) — plus the end-to-end span
-// and the http.request latency sample.
+// and the http.request latency sample (and the class's own series,
+// for tagged connections).
 func (c *Conn) traceDone() {
-	tr := c.net.K.Trace
+	tr := c.sink
 	if tr == nil {
 		return
 	}
-	now := c.net.Eng.Now()
-	pid := c.net.K.TracePID
+	now := c.t.eng.Now()
+	pid := c.sinkPID
 	if c.tsReq > c.started {
 		tr.Span(pid, c.lane(), "http", "handshake+request", c.started, c.tsReq)
 		tr.Span(pid, c.lane(), "http", "stream", c.tsReq, now)
@@ -157,15 +233,18 @@ func (c *Conn) traceDone() {
 		trace.Arg{Key: "doc", Val: strconv.Itoa(c.reqDocLen)},
 		trace.Arg{Key: "port", Val: strconv.Itoa(int(c.clientPort))})
 	tr.Observe(pid, "http.request", now-c.started)
+	if c.className != "" {
+		tr.Observe(pid, "http."+c.className, now-c.started)
+	}
 }
 
 // sendAck transmits a cumulative ACK carrying the client's in-order
 // byte count.
 func (c *Conn) sendAck() {
-	ack := c.net.newPacket()
+	ack := c.t.newPacket()
 	ack.SrcPort, ack.DstPort, ack.Conn = c.clientPort, ServerPort, c
 	ack.Flags, ack.Ack = FlagACK, c.got
-	c.net.xmit(c.link, toServer, ack, c.net.serverRx)
+	c.t.xmit(c.fwd, ack, c.backend.rx)
 }
 
 // deliverAndRelease consumes one client-bound delivery: unlike the
@@ -173,33 +252,35 @@ func (c *Conn) sendAck() {
 // reference drops as soon as clientDeliver returns.
 func (c *Conn) deliverAndRelease(pkt *Packet) {
 	c.clientDeliver(pkt)
-	c.net.release(pkt)
+	c.t.release(pkt)
 }
 
-// sendToClient transmits a server segment; Net.xmit applies the fault
-// decisions (loss, duplication, reordering) on the way out.
+// sendToClient transmits a server segment; Topology.xmit applies the
+// fault decisions (loss, duplication, reordering) on the way out.
 func (c *Conn) sendToClient(flags uint8, payload, seq int) {
-	c.net.K.Stats.Inc(sim.CtrPacketsTx)
-	if tr := c.net.K.Trace; tr != nil {
-		tr.Instant(c.net.K.TracePID, c.lane(), "net", "tx", c.net.Eng.Now(),
+	k := c.backend.K
+	k.Stats.Inc(sim.CtrPacketsTx)
+	if tr := k.Trace; tr != nil {
+		tr.Instant(k.TracePID, c.lane(), "net", "tx", c.t.eng.Now(),
 			trace.Arg{Key: "seq", Val: strconv.Itoa(seq)},
 			trace.Arg{Key: "payload", Val: strconv.Itoa(payload)})
 	}
-	pkt := c.net.newPacket()
+	pkt := c.t.newPacket()
 	pkt.SrcPort, pkt.DstPort, pkt.Conn = ServerPort, c.clientPort, c
 	pkt.Flags, pkt.Payload, pkt.Seq = flags, payload, seq
-	c.net.xmit(c.link, toClient, pkt, c.deliverAndRelease)
+	c.t.xmit(c.rev, pkt, c.deliverAndRelease)
 }
 
 // ClientPool drives nClients closed-loop HTTP clients against the
 // server: each opens a connection, sends one request, reads the full
 // response, and immediately issues the next. Connections round-robin
-// across the links.
+// across parallel links.
 type ClientPool struct {
-	net      *Net
+	t        *Topology
+	from     HostID
+	target   HostID
 	docSize  int
 	nextPort uint16
-	linkRR   int
 
 	stopAt    sim.Time
 	Completed int
@@ -217,35 +298,28 @@ const responseHeader = 200
 // ServerPort is the HTTP port.
 const ServerPort = 80
 
-// NewClientPool prepares n clients fetching docSize-byte documents.
-func (n *Net) NewClientPool(clients, docSize int, stopAt sim.Time) *ClientPool {
-	p := &ClientPool{net: n, docSize: docSize, nextPort: 10000, stopAt: stopAt}
+// NewClientPool prepares n closed-loop clients at host `from`
+// fetching docSize-byte documents from `target` (a NIC host or a load
+// balancer).
+func (t *Topology) NewClientPool(from, target HostID, clients, docSize int, stopAt sim.Time) *ClientPool {
+	p := &ClientPool{t: t, from: from, target: target, docSize: docSize,
+		nextPort: 10000, stopAt: stopAt}
 	for i := 0; i < clients; i++ {
 		// Stagger starts slightly for a clean ramp.
 		d := sim.Time(i) * 100
-		n.Eng.After(d, p.startRequest)
+		t.eng.After(d, p.startRequest)
 	}
 	return p
 }
 
 // startRequest opens a fresh connection and sends the SYN.
 func (p *ClientPool) startRequest() {
-	if p.net.Eng.Now() >= p.stopAt {
+	if p.t.eng.Now() >= p.stopAt {
 		return
 	}
 	port := p.nextPort
 	p.nextPort++
-	link := p.net.Links[p.linkRR%len(p.net.Links)]
-	p.linkRR++
-	c := &Conn{
-		net:        p.net,
-		link:       link,
-		clientPort: port,
-		expect:     responseHeader + p.docSize,
-		started:    p.net.Eng.Now(),
-		deadline:   p.stopAt,
-		reqDocLen:  p.docSize,
-	}
+	c := p.t.openConn(p.from, p.target, port, p.docSize, p.stopAt)
 	c.onDone = func(lat sim.Time) {
 		p.Completed++
 		p.Bytes += int64(p.docSize)

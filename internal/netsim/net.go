@@ -1,10 +1,13 @@
 // Package netsim models the paper's network environment for the HTTP
-// experiments (Section 7.3): a server machine with three 100-Mbit/s
-// Ethernets and a population of closed-loop clients. Packets occupy
-// link bandwidth for their wire time, arrivals interrupt the server's
-// CPU, and Xok's dynamic packet filters (internal/dpf) demultiplex
-// arriving packets to the listening server or the specific connection
-// — exactly the kernel path Xok uses.
+// experiments (Section 7.3) and its cluster-scale extension: hosts
+// joined by links with real bandwidth, latency and queue bounds
+// (Topology), machines attached at NICs, and an optional
+// load-balancer node spreading connections over several servers.
+// Packets occupy link bandwidth for their wire time, arrivals
+// interrupt the owning machine's CPU, and Xok's dynamic packet
+// filters (internal/dpf) demultiplex arriving packets to the
+// listening server or the specific connection — exactly the kernel
+// path Xok uses.
 //
 // The transport is a compact HTTP/1.0-over-TCP exchange: SYN,
 // SYN-ACK, request (piggybacked on the client's ACK), response
@@ -13,13 +16,16 @@
 // into a retransmission pool, checksum computation, separate
 // control packets, fork-per-request) are what differentiate the five
 // servers of Figure 3.
+//
+// Load comes in two shapes: the closed-loop ClientPool of Figure 3
+// (each client reissues as soon as its response lands) and the
+// open-loop OpenPool (arrivals follow a Poisson or uniform process
+// regardless of completions — the cluster experiment's offered load).
 package netsim
 
 import (
 	"encoding/binary"
 
-	"xok/internal/dpf"
-	"xok/internal/fault"
 	"xok/internal/kernel"
 	"xok/internal/sim"
 )
@@ -51,13 +57,13 @@ type Packet struct {
 
 	// refs counts pending deliveries of this exact packet object (a
 	// fault-plan duplication puts the same pointer on the wire twice).
-	// When it reaches zero the packet returns to the Net's freelist.
+	// When it reaches zero the packet returns to the fabric's freelist.
 	refs int
 }
 
 // HeaderInto renders the bytes the packet filter engine matches — dst
 // port, src port, flags — into buf (len >= 5), returning buf[:5]. The
-// receive path reuses one per-Net buffer: the filter engine matches and
+// receive path reuses one per-NIC buffer: the filter engine matches and
 // never retains.
 func (p *Packet) HeaderInto(buf []byte) []byte {
 	_ = buf[4]
@@ -72,158 +78,45 @@ func (p *Packet) Header() []byte {
 	return p.HeaderInto(make([]byte, 5))
 }
 
-// Link is one full-duplex Ethernet.
-type Link struct {
-	eng  *sim.Engine
-	busy [2]sim.Time // per-direction transmit horizon
-}
-
-// Directions.
-const (
-	toServer = 0
-	toClient = 1
-)
-
-// transmit serializes a frame on one direction and schedules delivery.
-func (l *Link) transmit(dir int, payload int, deliver func()) {
-	start := l.eng.Now()
-	if l.busy[dir] > start {
-		start = l.busy[dir]
-	}
-	tx := sim.WireTime(payload + ipTCPHeader)
-	l.busy[dir] = start + tx
-	l.eng.At(start+tx+sim.LinkLatency, deliver)
-}
-
-// Net is the network attached to one server machine.
+// Net is the deprecated single-machine view of the fabric: one server
+// machine with sim.NumLinks Ethernets to one client host — exactly
+// the pre-Topology package API.
+//
+// Deprecated: build a Topology. Net remains so existing single-server
+// harnesses keep compiling; it is a thin veneer over a two-host
+// Topology and produces event-for-event identical behavior.
 type Net struct {
-	K     *kernel.Kernel
-	Eng   *sim.Engine
-	Links []*Link
-	DPF   *dpf.Engine
+	*Topology
+	K *kernel.Kernel
 
-	// LossRate drops roughly one in LossRate TCP segments, in BOTH
-	// directions — SYNs, requests and ACKs as well as response data (0
-	// = lossless, the default). Deterministic: driven by lossRNG. The
-	// machine's fault plan (kernel.Config.Faults) adds independent
-	// loss, duplication and reordering channels on top.
-	LossRate int
-	lossRNG  *sim.RNG
-
-	plan *fault.Plan // the machine's fault plan (nil = none)
-
-	stack *Stack
-
-	// freePkts recycles Packet objects machine-locally: a saturated
-	// Figure 3 run sends hundreds of thousands of segments whose
-	// lifetime is a few events. The whole machine is sequential (engine
-	// callbacks and environment goroutines alternate), so no locking.
-	freePkts []*Packet
-	hdrBuf   [5]byte // serverRx filter-match scratch
+	// Client and Server are the two hosts of the legacy pairing.
+	Client HostID
+	Server HostID
 }
 
-// newPacket returns a zeroed Packet from the freelist (or the heap).
-func (n *Net) newPacket() *Packet {
-	if k := len(n.freePkts); k > 0 {
-		p := n.freePkts[k-1]
-		n.freePkts = n.freePkts[:k-1]
-		*p = Packet{}
-		return p
-	}
-	return &Packet{}
-}
-
-// release drops one pending delivery; the last one frees the packet.
-func (n *Net) release(p *Packet) {
-	p.refs--
-	if p.refs == 0 {
-		n.freePkts = append(n.freePkts, p)
-	}
-}
-
-// New wires sim.NumLinks Ethernets to the kernel's machine.
+// New wires sim.NumLinks Ethernets between a client host and the
+// kernel's machine.
+//
+// Deprecated: build a Topology with AddHost/AttachKernel/Link.
 func New(k *kernel.Kernel) *Net {
-	n := &Net{K: k, Eng: k.Eng, DPF: dpf.NewEngine(),
-		lossRNG: sim.NewRNG(0xfade), plan: k.Faults}
+	t := NewTopologyOn(k.Eng)
+	t.Faults = k.Faults
+	n := &Net{Topology: t, K: k}
+	n.Client = t.AddHost("client")
+	n.Server = t.AttachKernel("server", k)
 	for i := 0; i < sim.NumLinks; i++ {
-		n.Links = append(n.Links, &Link{eng: k.Eng})
+		t.Link(n.Client, n.Server, LinkSpec{})
 	}
 	return n
 }
 
-// xmit puts one segment on the wire in the given direction, applying
-// the fault decisions: loss (LossRate or the fault plan), duplication
-// and reordering (fault plan only). A lost segment still consumes its
-// wire time — the frame went out, it just never arrives. A duplicated
-// segment is sent twice back to back; a reordered one has its delivery
-// delayed a few frame times so that successors overtake it.
-// Each copy carries one reference; a lost copy releases it on
-// "arrival", a delivered copy passes it to deliver, which owns it from
-// then on (serverRx hands it to the ring and the server loop releases
-// after processing; the client path releases as soon as clientDeliver
-// returns).
-func (n *Net) xmit(link *Link, dir int, pkt *Packet, deliver func(*Packet)) {
-	copies := 1
-	if n.plan.DupSegment() {
-		copies = 2
-	}
-	pkt.refs = copies
-	for i := 0; i < copies; i++ {
-		lost := n.LossRate > 0 && n.lossRNG.Intn(n.LossRate) == 0
-		if n.plan.DropSegment() {
-			lost = true
-		}
-		var delay sim.Time
-		if n.plan.ReorderSegment() {
-			delay = 2 * sim.WireTime(sim.EthernetMTU+ipTCPHeader)
-		}
-		link.transmit(dir, pkt.Payload, func() {
-			if lost {
-				n.release(pkt)
-				return
-			}
-			if delay > 0 {
-				n.Eng.After(delay, func() { deliver(pkt) })
-				return
-			}
-			deliver(pkt)
-		})
-	}
+// Serve runs the server loop on the machine's NIC (see NIC.Serve).
+func (n *Net) Serve(env *kernel.Env, cfg StackConfig, handler Handler, stopAt sim.Time) *Stack {
+	return n.Topology.NIC(n.Server).Serve(env, cfg, handler, stopAt)
 }
 
-// serverRx is the NIC receive path: interrupt, packet filter, enqueue
-// on the owner's ring, wake the server.
-func (n *Net) serverRx(pkt *Packet) {
-	n.K.ChargeInterrupt(sim.CostNICInterrupt)
-	n.K.Stats.Inc(sim.CtrPacketsRx)
-	if tr := n.K.Trace; tr != nil && pkt.Conn != nil {
-		tr.Instant(n.K.TracePID, pkt.Conn.lane(), "net", "rx", n.Eng.Now())
-	}
-	n.K.ChargeInterrupt(sim.CostPacketFilter)
-	owner, ok := n.DPF.Dispatch(pkt.HeaderInto(n.hdrBuf[:]))
-	if !ok {
-		n.release(pkt)
-		return // no filter claims it: dropped
-	}
-	ring, ok := owner.(*ring)
-	if !ok {
-		n.release(pkt)
-		return
-	}
-	ring.push(pkt)
-}
-
-// ring is a packet ring bound to the server stack ("packet rings ...
-// allow protected buffering of received network packets", Section
-// 5.2.1).
-type ring struct {
-	stack *Stack
-}
-
-func (r *ring) push(pkt *Packet) {
-	s := r.stack
-	s.inbox = append(s.inbox, pkt)
-	if s.env != nil {
-		s.net.K.Wake(s.env)
-	}
+// NewClientPool prepares closed-loop clients against the server (see
+// Topology.NewClientPool).
+func (n *Net) NewClientPool(clients, docSize int, stopAt sim.Time) *ClientPool {
+	return n.Topology.NewClientPool(n.Client, n.Server, clients, docSize, stopAt)
 }

@@ -117,10 +117,10 @@ func TestForkPerRequestThrottles(t *testing.T) {
 
 func TestWireTimeSerializesLink(t *testing.T) {
 	eng := sim.NewEngine()
-	l := &Link{eng: eng}
+	l := &link{eng: eng, bps: sim.LinkBandwidthBps, latency: sim.LinkLatency}
 	var first, second sim.Time
-	l.transmit(toServer, 1460, func() { first = eng.Now() })
-	l.transmit(toServer, 1460, func() { second = eng.Now() })
+	l.transmit(0, 1460, func() { first = eng.Now() })
+	l.transmit(0, 1460, func() { second = eng.Now() })
 	eng.Run()
 	if second <= first {
 		t.Fatal("second frame not serialized behind the first")

@@ -39,42 +39,106 @@ type Handler func(e *kernel.Env, conn *Conn) int
 // flagRetransmit is an internal inbox marker: the RTO timer fired.
 const flagRetransmit uint8 = 0x80
 
-// RTO is the retransmission timeout.
+// RTO is the floor of the server retransmission timeout. Connections
+// on high-latency paths scale it from the measured round-trip time
+// instead (see Conn.serverTimeout).
 const RTO = 80 * sim.Millisecond
+
+// NIC is a machine's interface on the fabric: the receive path
+// charges the machine's CPU for the interrupt and packet filter, and
+// the server stack transmits from here.
+type NIC struct {
+	t    *Topology
+	host *host
+	K    *kernel.Kernel
+	DPF  *dpf.Engine
+
+	stack  *Stack
+	hdrBuf [5]byte // rx filter-match scratch
+}
+
+// Host returns the NIC's host id in the topology.
+func (nic *NIC) Host() HostID { return nic.host.id }
+
+// rx is the NIC receive path: interrupt, packet filter, enqueue on
+// the owner's ring, wake the server.
+func (nic *NIC) rx(pkt *Packet) {
+	nic.K.ChargeInterrupt(sim.CostNICInterrupt)
+	nic.K.Stats.Inc(sim.CtrPacketsRx)
+	if tr := nic.K.Trace; tr != nil && pkt.Conn != nil {
+		tr.Instant(nic.K.TracePID, pkt.Conn.lane(), "net", "rx", nic.t.eng.Now())
+	}
+	nic.K.ChargeInterrupt(sim.CostPacketFilter)
+	owner, ok := nic.DPF.Dispatch(pkt.HeaderInto(nic.hdrBuf[:]))
+	if !ok {
+		nic.t.release(pkt)
+		return // no filter claims it: dropped
+	}
+	ring, ok := owner.(*ring)
+	if !ok {
+		nic.t.release(pkt)
+		return
+	}
+	ring.push(pkt)
+}
+
+// ring is a packet ring bound to the server stack ("packet rings ...
+// allow protected buffering of received network packets", Section
+// 5.2.1).
+type ring struct {
+	stack *Stack
+}
+
+func (r *ring) push(pkt *Packet) {
+	s := r.stack
+	s.inbox = append(s.inbox, pkt)
+	if s.env != nil {
+		s.nic.K.Wake(s.env)
+	}
+}
 
 // Stack is the server's protocol endpoint.
 type Stack struct {
-	net *Net
+	nic *NIC
 	cfg StackConfig
 	env *kernel.Env
 
 	inbox   []*Packet
 	handler Handler
 
+	// stopAt ends the server loop at a deadline; 0 serves forever
+	// (the loop exits only when the machine shuts down).
 	stopAt sim.Time
 }
 
 // Serve installs the listen filter and runs the server loop in env
-// until stopAt (then the environment exits).
-func (n *Net) Serve(env *kernel.Env, cfg StackConfig, handler Handler, stopAt sim.Time) *Stack {
-	s := &Stack{net: n, cfg: cfg, env: env, handler: handler, stopAt: stopAt}
-	n.stack = s
+// until stopAt (0 = serve forever; then the environment exits).
+func (nic *NIC) Serve(env *kernel.Env, cfg StackConfig, handler Handler, stopAt sim.Time) *Stack {
+	s := &Stack{nic: nic, cfg: cfg, env: env, handler: handler, stopAt: stopAt}
+	nic.stack = s
 	r := &ring{stack: s}
 	listen := &dpf.Filter{Cmps: []dpf.Cmp{dpf.Eq16(0, ServerPort)}}
-	if _, err := n.DPF.Insert(listen, r); err != nil {
+	if _, err := nic.DPF.Insert(listen, r); err != nil {
 		panic("netsim: listen filter: " + err.Error())
 	}
-	// Stop event so the server wakes up and notices the deadline even
-	// if traffic is in flight.
-	n.Eng.At(stopAt, func() { n.K.Wake(env) })
+	if stopAt > 0 {
+		// Stop event so the server wakes up and notices the deadline
+		// even if traffic is in flight.
+		nic.t.eng.At(stopAt, func() { nic.K.Wake(env) })
+	}
 	s.loop()
 	return s
+}
+
+// expired reports whether the serve deadline has passed.
+func (s *Stack) expired() bool {
+	return s.stopAt > 0 && s.nic.t.eng.Now() >= s.stopAt
 }
 
 // wait blocks the server until a packet arrives or the deadline hits.
 func (s *Stack) wait() *Packet {
 	for len(s.inbox) == 0 {
-		if s.net.Eng.Now() >= s.stopAt {
+		if s.expired() {
 			return nil
 		}
 		s.env.Block()
@@ -90,7 +154,7 @@ func (s *Stack) loop() {
 		if pkt == nil {
 			return
 		}
-		if s.net.Eng.Now() >= s.stopAt {
+		if s.expired() {
 			return
 		}
 		c := pkt.Conn
@@ -111,7 +175,7 @@ func (s *Stack) loop() {
 			}
 		}
 		// The ring handed us this delivery; processing is done.
-		s.net.release(pkt)
+		s.nic.t.release(pkt)
 	}
 }
 
@@ -131,7 +195,7 @@ func (s *Stack) acceptConn(c *Conn) {
 		dpf.Eq16(0, ServerPort),
 		dpf.Eq16(2, c.clientPort),
 	}}
-	id, err := s.net.DPF.Insert(f, &ring{stack: s})
+	id, err := s.nic.DPF.Insert(f, &ring{stack: s})
 	if err == nil {
 		c.filterID = id
 		c.hasFilter = true
@@ -146,14 +210,14 @@ func (s *Stack) serveRequest(c *Conn) {
 		// the handler already ran; the RTO covers delivery.
 		return
 	}
-	c.tsReq = s.net.Eng.Now()
+	c.tsReq = s.nic.t.eng.Now()
 	// Receive-side processing of the request segment.
 	s.env.Use(s.cfg.PerPacket)
 	if s.cfg.CopyOnSend {
 		s.env.Use(sim.CopyCost(requestBytes))
 	}
 	if s.cfg.ForkPerRequest > 0 {
-		s.net.K.Stats.Inc(sim.CtrForks)
+		s.nic.K.Stats.Inc(sim.CtrForks)
 		s.env.Use(s.cfg.ForkPerRequest)
 	}
 	if s.cfg.SeparateReqAck {
@@ -182,11 +246,11 @@ func (s *Stack) sendFrom(c *Conn, from int, first bool) {
 		s.env.Use(s.cfg.PerPacket)
 		if first && s.cfg.CopyOnSend {
 			s.env.Use(sim.CopyCost(seg))
-			s.net.K.Stats.Add(sim.CtrBytesCopied, int64(seg))
+			s.nic.K.Stats.Add(sim.CtrBytesCopied, int64(seg))
 		}
 		if s.cfg.ChecksumOnSend {
 			s.env.Use(sim.ChecksumCost(seg))
-			s.net.K.Stats.Add(sim.CtrChecksums, int64(seg))
+			s.nic.K.Stats.Add(sim.CtrChecksums, int64(seg))
 		}
 		flags := FlagACK | FlagPSH
 		if off+seg >= total && !s.cfg.SeparateFIN {
@@ -204,16 +268,17 @@ func (s *Stack) sendFrom(c *Conn, from int, first bool) {
 // armRTO schedules the retransmission timer; firing enqueues a marker
 // packet the server loop handles with CPU properly charged.
 func (s *Stack) armRTO(c *Conn) {
-	s.net.Eng.Cancel(c.rto)
-	c.rto = s.net.Eng.After(RTO, func() {
+	eng := s.nic.t.eng
+	eng.Cancel(c.rto)
+	c.rto = eng.After(c.serverTimeout(), func() {
 		c.rto = sim.Event{}
-		if c.srvDone || s.net.Eng.Now() >= s.stopAt {
+		if c.srvDone || s.expired() {
 			return
 		}
-		mp := s.net.newPacket()
+		mp := s.nic.t.newPacket()
 		mp.Flags, mp.Conn, mp.refs = flagRetransmit, c, 1
 		s.inbox = append(s.inbox, mp)
-		s.net.K.Wake(s.env)
+		s.nic.K.Wake(s.env)
 	})
 }
 
@@ -223,7 +288,7 @@ func (s *Stack) retransmit(c *Conn) {
 	if c.srvDone || c.srvAcked >= c.srvTotal {
 		return
 	}
-	s.net.K.Stats.Inc(sim.CtrRetransmits)
+	s.nic.K.Stats.Inc(sim.CtrRetransmits)
 	// Align to the segment boundary at or below the cumulative ACK.
 	from := (c.srvAcked / MSS) * MSS
 	s.sendFrom(c, from, false)
@@ -232,14 +297,14 @@ func (s *Stack) retransmit(c *Conn) {
 
 // retireConn tears down a fully-acknowledged connection.
 func (s *Stack) retireConn(c *Conn) {
-	if tr := s.net.K.Trace; tr != nil {
-		tr.Instant(s.net.K.TracePID, c.lane(), "http", "retire", s.net.Eng.Now())
+	if tr := s.nic.K.Trace; tr != nil {
+		tr.Instant(s.nic.K.TracePID, c.lane(), "http", "retire", s.nic.t.eng.Now())
 	}
 	c.srvDone = true
-	s.net.Eng.Cancel(c.rto)
+	s.nic.t.eng.Cancel(c.rto)
 	c.rto = sim.Event{}
 	if c.hasFilter {
-		_ = s.net.DPF.Remove(c.filterID)
+		_ = s.nic.DPF.Remove(c.filterID)
 		c.hasFilter = false
 	}
 }

@@ -178,8 +178,16 @@ const (
 	CostPacketFilter Time = 100
 )
 
-// WireTime is the transmission time of n payload bytes on one link.
+// WireTime is the transmission time of n payload bytes on one
+// default-speed (LinkBandwidthBps) link.
 func WireTime(n int) Time {
+	return WireTimeAt(n, LinkBandwidthBps)
+}
+
+// WireTimeAt is the transmission time of n payload bytes on a link of
+// the given bandwidth (bits/second). Topology links with explicit
+// LinkSpec bandwidths serialize frames with this.
+func WireTimeAt(n int, bps uint64) Time {
 	bits := (n + EthernetHeader) * 8
-	return Time(uint64(bits) * CPUHz / LinkBandwidthBps)
+	return Time(uint64(bits) * CPUHz / bps)
 }

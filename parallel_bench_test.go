@@ -3,6 +3,7 @@ package xok
 import (
 	"testing"
 
+	"xok/internal/core"
 	"xok/internal/difftest"
 	"xok/internal/fault"
 	"xok/internal/workload"
@@ -48,3 +49,21 @@ func benchCrashSweep(b *testing.B, workers int) {
 
 func BenchmarkCrashSweepSerial(b *testing.B)    { benchCrashSweep(b, 1) }
 func BenchmarkCrashSweepParallel4(b *testing.B) { benchCrashSweep(b, 4) }
+
+func benchCluster(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		bench := core.Bench{BenchOpts: core.BenchOpts{Parallel: workers}}
+		rs, err := bench.Cluster(workload.ClusterCells(4, 400, 8000))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rs {
+			if r.Completed != r.Conns {
+				b.Fatalf("%d servers: %d/%d connections completed", r.Servers, r.Completed, r.Conns)
+			}
+		}
+	}
+}
+
+func BenchmarkClusterSerial(b *testing.B)    { benchCluster(b, 1) }
+func BenchmarkClusterParallel4(b *testing.B) { benchCluster(b, 4) }
