@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race crash fuzz-smoke race-parallel perf-sanity cluster-smoke check bench
+.PHONY: all build fmt vet test race crash fuzz-smoke race-parallel perf-sanity cluster-smoke snapshot-smoke check bench
 
 all: check
 
@@ -58,14 +58,23 @@ perf-sanity:
 cluster-smoke:
 	$(GO) run ./cmd/xok-bench -run cluster -servers 2 -conns 300
 
+# Snapshot smoke: the fork fast path's equivalence guards, re-run
+# (-count=1) under the race detector — replay equivalence (fork at a
+# random MAB boundary continues bit-identically, with and without an
+# armed fault plan), the crash sweep's snapshot-vs-boot digest match,
+# and difftest's from-boot-vs-forked exact compare with concurrent
+# forks from shared snapshots.
+snapshot-smoke:
+	$(GO) test -race -count=1 -run 'TestSnapshot' ./internal/workload/ ./internal/difftest/
+
 # The full pre-commit gate: everything compiles, the tree is gofmt
 # clean, vet is clean, the whole suite passes under the race detector
 # (the token-handoff protocol in internal/sim is exactly the kind of
 # code -race exists for), the parallel harness is race-clean, the
 # crash-enumeration sweep re-runs, the differential fuzz smoke
-# campaign comes back clean, and the parallel harness is not slower
-# than serial.
-check: build fmt vet race race-parallel crash fuzz-smoke cluster-smoke perf-sanity
+# campaign comes back clean, snapshot forking reproduces boot runs
+# bit-exactly, and the parallel harness is not slower than serial.
+check: build fmt vet race race-parallel crash fuzz-smoke cluster-smoke snapshot-smoke perf-sanity
 
 # Wall-clock benchmark baseline, committed as BENCH_sim.json so engine
 # or harness regressions show up as a diff. Two tiers: the engine
@@ -81,7 +90,9 @@ BENCH_EXPECT = BenchmarkEngineStepAfter16,BenchmarkEngineStepAfter1024,\
 BenchmarkEngineStepAfterArg16,BenchmarkEngineStepAfterArg1024,\
 BenchmarkEngineScheduleCancel,BenchmarkMAB/Xok-ExOS,BenchmarkMAB/FreeBSD,\
 BenchmarkDifftest100Serial,BenchmarkDifftest100Parallel4,\
+BenchmarkDifftest100SnapshotSerial,BenchmarkDifftest100SnapshotParallel4,\
 BenchmarkCrashSweepSerial,BenchmarkCrashSweepParallel4,\
+BenchmarkCrashSweepSnapshotSerial,BenchmarkCrashSweepSnapshotParallel4,\
 BenchmarkClusterSerial,BenchmarkClusterParallel4
 
 bench:

@@ -49,6 +49,20 @@ type Speedup struct {
 	AllocDeltaObjects *float64 `json:"alloc_delta_objects,omitempty"`
 }
 
+// SnapshotSpeedup is one derived boot-vs-fork comparison: a benchmark
+// pair named <Base><Mode> / <Base>Snapshot<Mode> for the same Mode
+// (Serial or Parallel<k>) — the same campaign re-booting machines per
+// run versus forking them from snapshots.
+type SnapshotSpeedup struct {
+	Base string `json:"base"`
+	Mode string `json:"mode"`
+	// Speedup is boot ns/op over fork ns/op (>1 = forking wins).
+	Speedup float64 `json:"speedup"`
+	// BootNsOp/ForkNsOp restate the inputs for review diffs.
+	BootNsOp float64 `json:"boot_ns_op"`
+	ForkNsOp float64 `json:"fork_ns_op"`
+}
+
 // Report is the whole document.
 type Report struct {
 	// Host pins the hardware/toolchain the numbers were taken on.
@@ -58,6 +72,10 @@ type Report struct {
 	// ParallelSpeedups is derived from <Base>Serial / <Base>Parallel<k>
 	// benchmark pairs, in the serial side's input order.
 	ParallelSpeedups []Speedup `json:"parallel_speedups,omitempty"`
+	// SnapshotSpeedups is derived from <Base><Mode> /
+	// <Base>Snapshot<Mode> benchmark pairs, in the snapshot side's
+	// input order.
+	SnapshotSpeedups []SnapshotSpeedup `json:"snapshot_speedups,omitempty"`
 }
 
 func main() {
@@ -94,6 +112,7 @@ func main() {
 		os.Exit(1)
 	}
 	rep.ParallelSpeedups = deriveSpeedups(rep.Benchmarks)
+	rep.SnapshotSpeedups = deriveSnapshotSpeedups(rep.Benchmarks)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
@@ -171,6 +190,54 @@ func deriveSpeedups(benches []Benchmark) []Speedup {
 			}
 			out = append(out, sp)
 		}
+	}
+	return out
+}
+
+// deriveSnapshotSpeedups pairs <Base>Snapshot<Mode> with <Base><Mode>
+// for Mode = Serial or Parallel<k>, comparing the fork fast path
+// against the boot-per-run baseline at the same worker count.
+func deriveSnapshotSpeedups(benches []Benchmark) []SnapshotSpeedup {
+	byName := make(map[string]Benchmark, len(benches))
+	for _, b := range benches {
+		byName[b.Name] = b
+	}
+	validMode := func(mode string) bool {
+		if mode == "Serial" {
+			return true
+		}
+		rest, ok := strings.CutPrefix(mode, "Parallel")
+		if !ok {
+			return false
+		}
+		_, err := strconv.Atoi(rest)
+		return err == nil
+	}
+	var out []SnapshotSpeedup
+	for _, f := range benches {
+		i := strings.LastIndex(f.Name, "Snapshot")
+		if i < 0 {
+			continue
+		}
+		base, mode := f.Name[:i], f.Name[i+len("Snapshot"):]
+		if !validMode(mode) {
+			continue
+		}
+		boot, ok := byName[base+mode]
+		if !ok {
+			continue
+		}
+		bNs, fNs := boot.Metrics["ns/op"], f.Metrics["ns/op"]
+		if bNs == 0 || fNs == 0 {
+			continue
+		}
+		out = append(out, SnapshotSpeedup{
+			Base:     base,
+			Mode:     mode,
+			Speedup:  bNs / fNs,
+			BootNsOp: bNs,
+			ForkNsOp: fNs,
+		})
 	}
 	return out
 }

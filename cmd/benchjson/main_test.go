@@ -75,6 +75,26 @@ func TestDeriveSpeedups(t *testing.T) {
 	}
 }
 
+func TestDeriveSnapshotSpeedups(t *testing.T) {
+	benches := []Benchmark{
+		{Name: "BenchmarkCrashSweepSerial", Metrics: map[string]float64{"ns/op": 600e6}},
+		{Name: "BenchmarkCrashSweepParallel4", Metrics: map[string]float64{"ns/op": 200e6}},
+		{Name: "BenchmarkCrashSweepSnapshotSerial", Metrics: map[string]float64{"ns/op": 300e6}},
+		{Name: "BenchmarkCrashSweepSnapshotParallel4", Metrics: map[string]float64{"ns/op": 100e6}},
+		{Name: "BenchmarkSnapshotOrphan", Metrics: map[string]float64{"ns/op": 5}}, // no mode suffix
+	}
+	got := deriveSnapshotSpeedups(benches)
+	if len(got) != 2 {
+		t.Fatalf("derived %d snapshot speedups, want 2: %+v", len(got), got)
+	}
+	if got[0].Base != "BenchmarkCrashSweep" || got[0].Mode != "Serial" || got[0].Speedup != 2.0 {
+		t.Fatalf("serial pairing wrong: %+v", got[0])
+	}
+	if got[1].Base != "BenchmarkCrashSweep" || got[1].Mode != "Parallel4" || got[1].Speedup != 2.0 {
+		t.Fatalf("parallel pairing wrong: %+v", got[1])
+	}
+}
+
 func TestDeriveSpeedupsNoBenchmem(t *testing.T) {
 	benches := []Benchmark{
 		{Name: "BenchmarkXSerial", Metrics: map[string]float64{"ns/op": 10}},

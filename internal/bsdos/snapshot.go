@@ -1,0 +1,69 @@
+package bsdos
+
+import (
+	"fmt"
+
+	"xok/internal/cffs"
+	"xok/internal/kernel"
+	"xok/internal/xn"
+)
+
+// Snapshot is a frozen BSD machine: kernel state, the in-kernel file
+// system substrate's bookkeeping, the file system control state, and
+// the variant/profile.
+type Snapshot struct {
+	k       *kernel.Snapshot
+	x       *xn.Snapshot
+	fs      *cffs.Frozen
+	variant Variant
+	fsCfg   cffs.Config
+	nextPid int
+}
+
+// Snapshot captures the machine's state. Fails unless the machine is
+// quiescent (no live processes, event queue drained).
+func (s *System) Snapshot() (*Snapshot, error) {
+	ks, err := s.K.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	xs, err := s.X.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	if s.FS == nil {
+		return nil, fmt.Errorf("bsdos: snapshot before mkfs completed")
+	}
+	return &Snapshot{
+		k:       ks,
+		x:       xs,
+		fs:      s.FS.Freeze(),
+		variant: s.Variant,
+		fsCfg:   s.FSCfg,
+		nextPid: s.nextPid,
+	}, nil
+}
+
+// Fork builds a new machine continuing from the snapshot. Safe to call
+// concurrently on one snapshot.
+func Fork(sn *Snapshot) *System {
+	k := kernel.Fork(sn.k)
+	x := xn.ForkXN(sn.x, k)
+	return &System{
+		K:       k,
+		X:       x,
+		FS:      sn.fs.Thaw(x),
+		Variant: sn.variant,
+		FSCfg:   sn.fsCfg,
+		nextPid: sn.nextPid,
+	}
+}
+
+// Release returns the snapshot's frozen buffers to the shared pool.
+// Only legal once the snapshotted machine and every fork are closed.
+func (sn *Snapshot) Release() {
+	if sn.k != nil {
+		sn.k.Release()
+		sn.k = nil
+	}
+}

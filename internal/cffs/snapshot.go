@@ -1,0 +1,36 @@
+package cffs
+
+import "xok/internal/xn"
+
+// Frozen is the snapshot of one mounted C-FFS's control state: block
+// layout handles, allocation cursor, slot-incarnation counter and the
+// name cache. All of it is plain values except the cache map, which
+// Freeze copies. Thawing against a forked XN is safe from concurrent
+// goroutines: Thaw only reads the Frozen.
+type Frozen struct {
+	fs    FS
+	cache map[string]Ref
+}
+
+// Freeze captures the file system's state. The live FS keeps running
+// (its maps are untouched).
+func (fs *FS) Freeze() *Frozen {
+	fz := &Frozen{fs: *fs, cache: make(map[string]Ref, len(fs.nameCache))}
+	for k, v := range fs.nameCache {
+		fz.cache[k] = v
+	}
+	fz.fs.X = nil
+	fz.fs.nameCache = nil
+	return fz
+}
+
+// Thaw rebuilds the FS against x (the forked machine's XN).
+func (fz *Frozen) Thaw(x *xn.XN) *FS {
+	fs := fz.fs
+	fs.X = x
+	fs.nameCache = make(map[string]Ref, len(fz.cache))
+	for k, v := range fz.cache {
+		fs.nameCache[k] = v
+	}
+	return &fs
+}

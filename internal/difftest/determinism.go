@@ -72,7 +72,12 @@ func fuzzDeterminism(o *Options) (*Divergence, error) {
 }
 
 // determinismOnce runs the kept steps twice on one personality and
-// compares exactly.
+// compares exactly. With the snapshot fast path on, the second run
+// forks from the personality's post-boot snapshot instead of booting —
+// so the comparison doubles as the replay-equivalence proof that a
+// snapshot captures the tracer and the fault plan's xorshift stream
+// positions: a fork that rewound (or skipped) any stream would land
+// faults at different points and fail the exact compare.
 func (o *Options) determinismOnce(pers machine.Personality, seed uint64, steps []Step, keep []int) (*Divergence, error) {
 	prefixes := stepPrefixes(steps, keep)
 	run := func() (*Result, error) {
@@ -89,14 +94,21 @@ func (o *Options) determinismOnce(pers machine.Personality, seed uint64, steps [
 	if err != nil {
 		return nil, err
 	}
-	r2, err := run()
-	if err != nil {
-		return nil, err
+	var r2 *Result
+	second := " (2nd run)"
+	if sn := o.snaps[pers]; sn != nil {
+		r2 = o.forkProgram(sn, pers.String(), steps, keep, prefixes)
+		second = " (forked run)"
+	} else {
+		r2, err = run()
+		if err != nil {
+			return nil, err
+		}
 	}
 	if d := compare(r1, r2, true); d != "" {
 		return &Divergence{
 			Seed: seed, Steps: len(steps), Keep: keep,
-			A: pers.String(), B: pers.String() + " (2nd run)",
+			A: pers.String(), B: pers.String() + second,
 			Where: d,
 		}, nil
 	}

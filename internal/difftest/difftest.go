@@ -65,6 +65,18 @@ type Options struct {
 	// divergence it finds, if any) is identical at every worker count.
 	Parallel int
 
+	// Snapshot turns on the fork-based fast path: the campaign boots
+	// each personality once to its post-boot quiescent point (mkfs
+	// done, nothing spawned), snapshots it, and every seed forks from
+	// that snapshot instead of re-paying boot. Replay equivalence
+	// (forks continue bit-identically) keeps outcomes, trees, audits,
+	// cycle counts and trace digests the same with the flag on or off.
+	// In determinism mode the two runs become one from-boot run and one
+	// forked run compared bit-exactly — which additionally proves the
+	// snapshot captured the tracer and the fault plan's stream
+	// positions, not just memory and disk.
+	Snapshot bool
+
 	// DiskBlocks/MemPages size the machines (0 = 16384 / 2048 — small
 	// keeps a 500-seed run fast).
 	DiskBlocks int64
@@ -76,6 +88,11 @@ type Options struct {
 	// from worker goroutines when Parallel > 1, so it must be a pure
 	// function of its arguments.
 	mutate func(personality string, step int, out string) string
+
+	// snaps holds the per-personality post-boot snapshots while a
+	// Snapshot campaign runs. Read-only once built, so worker
+	// goroutines fork from them concurrently without locking.
+	snaps map[machine.Personality]*machine.Snapshot
 }
 
 // Defaults fills unset fields.
@@ -468,8 +485,23 @@ func (o *Options) runProgram(pers machine.Personality, steps []Step, keep []int,
 	if err != nil {
 		return nil, err
 	}
+	return o.finishProgram(m, pers.String(), steps, keep, prefixes), nil
+}
+
+// forkProgram is runProgram's snapshot fast path: instead of booting a
+// machine it forks the personality's post-boot snapshot and runs the
+// kept steps there. The fork resumes the snapshot's tracer and
+// fault-plan stream positions, so the Result is bit-identical to a
+// from-boot run's — determinismOnce checks exactly that.
+func (o *Options) forkProgram(sn *machine.Snapshot, persName string, steps []Step, keep []int, prefixes []string) *Result {
+	return o.finishProgram(machine.Fork(sn), persName, steps, keep, prefixes)
+}
+
+// finishProgram runs the observable tail — the fuzz program, the
+// namespace walk, a sync, the crash image audit — on m, which it
+// consumes (Close), and captures the Result.
+func (o *Options) finishProgram(m machine.Machine, persName string, steps []Step, keep []int, prefixes []string) *Result {
 	res := &Result{}
-	persName := pers.String()
 	m.SpawnProc("fuzz", 0, func(p unix.Proc) {
 		o.execute(p, persName, steps, keep, prefixes, res)
 	})
@@ -481,7 +513,7 @@ func (o *Options) runProgram(pers machine.Personality, steps []Step, keep []int,
 	m.SpawnProc("syncer", 0, func(p unix.Proc) { _ = p.Sync() })
 	m.Run()
 	res.Cycles = m.Now()
-	res.Digest = tr.Digest()
+	res.Digest = m.Kern().Trace.Digest() // nil-safe: untraced runs fold to the offset basis
 	img := m.Crash(m.Now())
 	fsName, fsCfg := m.FSSpec()
 	// AuditImage consumes img; Close returns the machine's page frames
@@ -489,7 +521,51 @@ func (o *Options) runProgram(pers machine.Personality, steps []Step, keep []int,
 	// personality cell ~allocation-neutral at steady state.
 	res.Audit = cffs.AuditImage(img, o.DiskBlocks, fsName, fsCfg)
 	m.Close()
-	return res, nil
+	return res
+}
+
+// bootSnapshots boots each personality once to its post-boot quiescent
+// point, snapshots it, and closes the machine (the snapshot owns the
+// frozen pages and blocks; copy-on-write keeps them valid). In
+// determinism mode the snapshot machine boots with a live tracer and a
+// clone of the campaign's fault plan, so forks resume both exactly
+// where boot left them. The returned func releases every snapshot.
+func (o *Options) bootSnapshots() (func(), error) {
+	o.snaps = make(map[machine.Personality]*machine.Snapshot, len(o.Personalities))
+	release := func() {
+		for _, sn := range o.snaps {
+			sn.Release()
+		}
+		o.snaps = nil
+	}
+	for _, pers := range o.Personalities {
+		var tr *trace.Tracer
+		var plan *fault.Plan
+		if o.Faults != nil {
+			tr = trace.New()
+			plan = o.Faults.Clone()
+		}
+		m, err := machine.New(machine.Config{
+			Personality: pers,
+			DiskBlocks:  o.DiskBlocks,
+			MemPages:    o.MemPages,
+			Faults:      plan,
+			Trace:       tr,
+		})
+		if err != nil {
+			release()
+			return nil, err
+		}
+		sn, err := m.Snapshot()
+		if err != nil {
+			m.Close()
+			release()
+			return nil, fmt.Errorf("difftest: post-boot snapshot of %s: %w", pers, err)
+		}
+		m.Close()
+		o.snaps[pers] = sn
+	}
+	return release, nil
 }
 
 // compare reports the first observable disagreement between two
@@ -563,6 +639,13 @@ func allSteps(n int) []int {
 // serial run.
 func Fuzz(opt Options) (*Divergence, error) {
 	o := opt.Defaults()
+	if o.Snapshot {
+		release, err := o.bootSnapshots()
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+	}
 	if o.Faults != nil {
 		return fuzzDeterminism(&o)
 	}
@@ -626,11 +709,17 @@ func (o *Options) diffOnce(seed uint64, steps []Step, keep []int) (*Divergence, 
 	var refName string
 	prefixes := stepPrefixes(steps, keep)
 	for _, pers := range o.Personalities {
-		res, err := o.runProgram(pers, steps, keep, prefixes, nil, false)
-		if err != nil {
-			return nil, err
-		}
 		name := pers.String()
+		var res *Result
+		if sn := o.snaps[pers]; sn != nil {
+			res = o.forkProgram(sn, name, steps, keep, prefixes)
+		} else {
+			var err error
+			res, err = o.runProgram(pers, steps, keep, prefixes, nil, false)
+			if err != nil {
+				return nil, err
+			}
+		}
 		if len(res.Audit) != 0 {
 			return &Divergence{
 				Seed: seed, Steps: len(steps), Keep: keep,

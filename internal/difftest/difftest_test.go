@@ -50,6 +50,44 @@ func TestDeterminismSmoke(t *testing.T) {
 	}
 }
 
+// TestSnapshotDeterminism: with the snapshot fast path on, determinism
+// mode pits a from-boot run against a run forked from the
+// personality's post-boot snapshot and demands bit-identical results —
+// outcomes, tree, audit, cycle count, trace digest. This is the
+// harness-level replay-equivalence proof that a snapshot captures the
+// tracer and the fault plan's consumed state (syscall kill counter,
+// xorshift stream positions): a fork that rewound any of them would
+// land the kill or a torn write at a different point and fail the
+// exact compare. Parallel workers fork from the shared snapshots
+// concurrently.
+func TestSnapshotDeterminism(t *testing.T) {
+	plan, err := fault.Parse("42:kill=60,killenv=fuzz,torn")
+	if err != nil {
+		t.Fatalf("parse plan: %v", err)
+	}
+	div, errF := Fuzz(Options{Seeds: 4, Steps: 30, BaseSeed: 900, Faults: plan, Snapshot: true, Parallel: 4})
+	if errF != nil {
+		t.Fatalf("fuzz: %v", errF)
+	}
+	if div != nil {
+		t.Fatalf("forked run diverged from boot run: %v", div)
+	}
+}
+
+// TestSnapshotFuzzCrossPersonality: the normal cross-personality
+// campaign with forking on must stay clean — every seed's five
+// machines are forks of the five shared post-boot snapshots.
+func TestSnapshotFuzzCrossPersonality(t *testing.T) {
+	div, err := Fuzz(Options{Seeds: 8, Steps: 40, BaseSeed: 1, Snapshot: true, Parallel: 4})
+	if err != nil {
+		t.Fatalf("fuzz: %v", err)
+	}
+	if div != nil {
+		prog, _ := Program(div.Token)
+		t.Fatalf("divergence:\n%v\nprogram:\n%s", div, prog)
+	}
+}
+
 // TestMutationCaught is the harness's own mutation test (the
 // acceptance criterion): fake a single-errno divergence on one
 // personality via the outcome hook and require that the fuzzer (a)

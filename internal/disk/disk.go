@@ -97,7 +97,12 @@ type Disk struct {
 
 	faults *fault.Plan // fault plan; nil = no injection
 
-	store map[BlockNo][]byte // media contents, allocated lazily
+	store map[BlockNo][]byte // live (mutable) media overlay, allocated lazily
+	base  *cowLayer          // frozen snapshot layers under the overlay; nil = none
+	// cowCopies counts blocks copied up from frozen layers on first
+	// post-fork write — the "fork is O(state actually written)" number
+	// the snapshot test suite gates on.
+	cowCopies int64
 }
 
 // Option configures a Disk at construction (functional options).
@@ -421,7 +426,7 @@ func (d *Disk) complete(sp *spindle, r *Request) {
 				copy(blk, r.Pages[i])
 			}
 		} else if r.Pages != nil {
-			blk, ok := d.store[b]
+			blk, ok := d.lookup(b)
 			if ok {
 				copy(r.Pages[i], blk)
 			} else {
@@ -474,10 +479,39 @@ func (d *Disk) traceRequest(sp *spindle, r *Request) {
 	}
 }
 
+// lookup finds block b's current media contents: the live overlay
+// first, then the frozen snapshot layers, newest first. The returned
+// slice may alias a frozen (shared, read-only) buffer.
+func (d *Disk) lookup(b BlockNo) ([]byte, bool) {
+	if blk, ok := d.store[b]; ok {
+		return blk, true
+	}
+	for l := d.base; l != nil; l = l.parent {
+		if blk, ok := l.store[b]; ok {
+			return blk, true
+		}
+	}
+	return nil, false
+}
+
+// mediaBlock returns a mutable buffer for block b in the live overlay.
+// A block whose current contents live in a frozen layer is copied up
+// on this first write (the copy-on-write in "COW disk image"); a block
+// never written anywhere materializes zeroed.
 func (d *Disk) mediaBlock(b BlockNo) []byte {
 	blk, ok := d.store[b]
 	if !ok {
-		blk = bufpool.Get()
+		for l := d.base; l != nil; l = l.parent {
+			if frozen, fok := l.store[b]; fok {
+				blk = bufpool.GetDirty()
+				copy(blk, frozen)
+				d.cowCopies++
+				break
+			}
+		}
+		if blk == nil {
+			blk = bufpool.Get()
+		}
 		d.store[b] = blk
 	}
 	return blk
@@ -488,7 +522,7 @@ func (d *Disk) mediaBlock(b BlockNo) []byte {
 // way when simulating reboot).
 func (d *Disk) PeekBlock(b BlockNo) []byte {
 	out := make([]byte, sim.DiskBlockSize)
-	if blk, ok := d.store[b]; ok {
+	if blk, ok := d.lookup(b); ok {
 		copy(out, blk)
 	}
 	return out
@@ -505,7 +539,7 @@ var zeroBlock [sim.DiskBlockSize]byte
 // scans (XN's reachability GC reads every reachable block) use this to
 // avoid a 4-KB copy per block; everything else should PeekBlock.
 func (d *Disk) ViewBlock(b BlockNo) []byte {
-	if blk, ok := d.store[b]; ok {
+	if blk, ok := d.lookup(b); ok {
 		return blk
 	}
 	return zeroBlock[:]
@@ -527,11 +561,28 @@ type Image = map[BlockNo][]byte
 // power failure would leave. Crash tests transplant the snapshot into
 // a fresh machine with Restore.
 func (d *Disk) Snapshot() Image {
+	// Flatten the frozen layers (deepest first, so newer layers win)
+	// under the live overlay into one self-contained image.
+	var layers []*cowLayer
+	for l := d.base; l != nil; l = l.parent {
+		layers = append(layers, l)
+	}
 	out := make(Image, len(d.store))
-	for b, blk := range d.store {
-		cp := bufpool.GetDirty()[:len(blk)]
+	put := func(b BlockNo, blk []byte) {
+		cp, ok := out[b]
+		if !ok {
+			cp = bufpool.GetDirty()[:len(blk)]
+			out[b] = cp
+		}
 		copy(cp, blk)
-		out[b] = cp
+	}
+	for i := len(layers) - 1; i >= 0; i-- {
+		for b, blk := range layers[i].store {
+			put(b, blk)
+		}
+	}
+	for b, blk := range d.store {
+		put(b, blk)
 	}
 	return out
 }
@@ -598,6 +649,9 @@ func (d *Disk) Restore(snap Image) {
 	for _, blk := range d.store {
 		bufpool.Put(blk)
 	}
+	// A full media replacement supersedes any frozen layers; they stay
+	// owned by (and are released through) their checkpoints.
+	d.base = nil
 	d.store = make(map[BlockNo][]byte, len(snap))
 	for b, blk := range snap {
 		cp := bufpool.GetDirty()[:len(blk)]
@@ -615,17 +669,21 @@ func (d *Disk) RestoreOwned(snap Image) {
 	for _, blk := range d.store {
 		bufpool.Put(blk)
 	}
+	d.base = nil
 	d.store = snap
 }
 
 // Recycle returns every media block to the buffer pool and leaves the
 // disk empty. Call only when the machine is finished for good:
 // teardown-for-reuse, not an operation the simulation models.
+// Frozen snapshot layers are not recycled here: their buffers belong
+// to the checkpoints that froze them (Checkpoint.Release).
 func (d *Disk) Recycle() {
 	for _, blk := range d.store {
 		bufpool.Put(blk)
 	}
 	d.store = nil
+	d.base = nil
 }
 
 // RecycleImage returns a detached crash image's buffers to the pool —

@@ -200,6 +200,31 @@ func (p *Plan) Clone() *Plan {
 	}
 }
 
+// Fork returns a copy that *preserves* the consumed state: every
+// per-channel xorshift stream continues from its current position, and
+// the syscall counter and kill latch carry over. A machine forked from
+// a snapshot uses this so it draws the exact fault schedule a run from
+// boot would see past the snapshot point — Clone would rewind the
+// streams and replay the prefix's faults. The write observer is NOT
+// carried over (it is harness-side instrumentation of one specific
+// machine, not simulated state). Nil-safe; safe to call concurrently
+// on a frozen plan (it only reads p).
+func (p *Plan) Fork() *Plan {
+	if p == nil {
+		return nil
+	}
+	cp := p.Clone()
+	cp.syscalls = p.syscalls
+	cp.killed = p.killed
+	if p.rngs != nil {
+		cp.rngs = make(map[string]*sim.RNG, len(p.rngs))
+		for ch, r := range p.rngs {
+			cp.rngs[ch] = r.Clone()
+		}
+	}
+	return cp
+}
+
 // Parse builds a plan from a "seed:spec" string (the cmd/xok-bench
 // -faults flag). The seed is a decimal or 0x-hex integer; spec is a
 // comma-separated list of key=value fault knobs:

@@ -124,6 +124,13 @@ type Machine interface {
 	// structural profile — what cffs.AuditImage needs to re-attach a
 	// crash image of this machine forensically.
 	FSSpec() (string, cffs.Config)
+	// Snapshot freezes the machine at a quiescent point (all processes
+	// exited, event queue drained) into a forkable checkpoint; see
+	// Snapshot and Fork. The machine keeps running afterwards
+	// (copy-on-write). Errors if the machine is not quiescent — for a
+	// fabric-attached machine that includes any in-flight packet or
+	// timer on the shared engine.
+	Snapshot() (*Snapshot, error)
 	// Close releases the machine for good: environment goroutines are
 	// killed and the page-frame and disk-block buffers go back to the
 	// shared pool (kernel.Release). This is the reset path that lets

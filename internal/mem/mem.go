@@ -50,6 +50,7 @@ type page struct {
 	guard    xcap.Capability
 	refCount int  // live mappings + registry pins
 	free     bool // on the free list
+	shared   bool // data is frozen in a snapshot: copy-on-write, never mutate or Put
 	data     []byte
 	lastUse  uint64 // LRU clock stamp
 }
@@ -97,7 +98,7 @@ func New(npages int, stats *sim.Stats) *PhysMem {
 // page data included — survives the call.
 func (m *PhysMem) Recycle() {
 	for i := range m.pages {
-		if d := m.pages[i].data; d != nil {
+		if d := m.pages[i].data; d != nil && !m.pages[i].shared {
 			bufpool.Put(d)
 		}
 	}
@@ -179,8 +180,15 @@ func (m *PhysMem) Free(p PageNo, creds xcap.Credentials) error {
 	pg.free = true
 	// Keep the frame buffer attached (zeroed) rather than dropping it to
 	// the GC: a later Alloc of this frame sees the same fresh-page
-	// semantics, without re-allocating 4 KB.
-	clear(pg.data)
+	// semantics, without re-allocating 4 KB. A snapshot-frozen buffer
+	// must instead be detached untouched — the snapshot owns those bytes
+	// — and the frame falls back to lazy zeroed materialization.
+	if pg.shared {
+		pg.data = nil
+		pg.shared = false
+	} else {
+		clear(pg.data)
+	}
 	m.freeList = append(m.freeList, p)
 	return nil
 }
@@ -259,6 +267,15 @@ func (m *PhysMem) Data(p PageNo) []byte {
 	pg := &m.pages[p]
 	if pg.data == nil {
 		pg.data = bufpool.Get()
+	} else if pg.shared {
+		// Copy-on-access: the buffer is frozen in a snapshot shared with
+		// other forks, so the first touch after a snapshot/fork copies it
+		// up into a private buffer. Data is the single choke point for
+		// frame contents, so nothing else can reach the frozen bytes.
+		fresh := bufpool.GetDirty()
+		copy(fresh, pg.data)
+		pg.data = fresh
+		pg.shared = false
 	}
 	pg.lastUse = m.touchClock()
 	return pg.data

@@ -1,0 +1,48 @@
+package sim
+
+// Snapshot/fork support. A machine snapshot is only legal at a
+// quiescent point — no events queued, no process running — so the
+// engine state worth capturing collapses to two scalars: the virtual
+// clock and the scheduling sequence counter. The sequence counter
+// matters because events scheduled for the same instant fire in
+// scheduling order; a forked engine must hand out the same sequence
+// numbers a from-boot engine would, or same-time events could
+// interleave differently and break bit-for-bit replay equivalence.
+
+// Clock returns the engine's snapshot state: the current virtual time
+// and the next event sequence number. Call only when Pending() == 0 —
+// queued events are not part of the exported state.
+func (e *Engine) Clock() (now Time, seq uint64) { return e.now, e.seq }
+
+// NewEngineAt returns a fresh engine whose clock and sequence counter
+// continue from a snapshot taken with Clock. The meter baseline is set
+// to now so the global cycle meter (CyclesSimulated) only accrues
+// cycles the fork actually simulates — not the prefix it inherited,
+// which the snapshotted machine already flushed.
+func NewEngineAt(now Time, seq uint64) *Engine {
+	return &Engine{now: now, seq: seq, metered: now}
+}
+
+// Clone returns an independent generator at the same stream position.
+// Forked machines use this to continue a fault plan's per-channel
+// xorshift streams exactly where the snapshot left them, so a forked
+// run sees the same fault schedule as a run from boot.
+func (r *RNG) Clone() *RNG {
+	if r == nil {
+		return nil
+	}
+	cp := *r
+	return &cp
+}
+
+// Clone returns an independent copy of the counter registry.
+func (s *Stats) Clone() *Stats {
+	if s == nil {
+		return nil
+	}
+	cp := NewStats()
+	for k, v := range s.counters {
+		cp.counters[k] = v
+	}
+	return cp
+}

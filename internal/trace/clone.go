@@ -1,0 +1,35 @@
+package trace
+
+// Clone returns an independent copy of the tracer's full state —
+// events, drop count, process and lane registries, histograms and
+// counters. Machine snapshots freeze a clone (the snapshotted machine
+// keeps recording into the original) and every fork clones again, so
+// a forked machine's digest evolves exactly as a from-boot machine's
+// would. Event arg slices are shared: they are never mutated after
+// recording. Nil-safe like every Tracer method.
+func (t *Tracer) Clone() *Tracer {
+	if t == nil {
+		return nil
+	}
+	cp := &Tracer{
+		events:     append([]event(nil), t.events...),
+		dropped:    t.dropped,
+		procs:      append([]string(nil), t.procs...),
+		laneNames:  make(map[laneKey]string, len(t.laneNames)),
+		hists:      make(map[string]*Histogram, len(t.hists)),
+		histOrder:  append([]string(nil), t.histOrder...),
+		counts:     make(map[string]int64, len(t.counts)),
+		countOrder: append([]string(nil), t.countOrder...),
+	}
+	for k, v := range t.laneNames {
+		cp.laneNames[k] = v
+	}
+	for k, h := range t.hists {
+		hc := *h
+		cp.hists[k] = &hc
+	}
+	for k, v := range t.counts {
+		cp.counts[k] = v
+	}
+	return cp
+}

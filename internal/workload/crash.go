@@ -3,6 +3,7 @@ package workload
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"xok/internal/apps"
 	"xok/internal/cffs"
@@ -46,6 +47,15 @@ type CrashConfig struct {
 	// own plan clone, so trials are independent; results keep boundary
 	// order, and the outcome digest is identical at any worker count.
 	Parallel int
+
+	// Snapshot turns on the fork-based fast path: the probe run leaves
+	// a machine snapshot at every workload segment boundary, and each
+	// crash trial forks from the snapshot nearest below its crash
+	// point instead of re-running the workload from boot. Replay
+	// equivalence (forks continue bit-identically) guarantees the
+	// boundary list, per-point audits and outcome digest are the same
+	// with the flag on or off — only host wall-clock changes.
+	Snapshot bool
 }
 
 // CrashPoint is one enumerated crash trial.
@@ -73,23 +83,18 @@ func (r CrashResult) Violations() int {
 	return n
 }
 
-// crashWorkload is the MAB file activity as a single process, so the
-// harness can cut power at any instant of it: stage the source tree,
-// then run the five phases back to back.
-func crashWorkload(p unix.Proc) error {
-	spec := mabTree()
-	if err := apps.WriteTree(p, "/mabsrc", spec); err != nil {
-		return err
-	}
-	if err := p.Sync(); err != nil {
-		return err
-	}
-	for _, phase := range mabPhaseFuncs(spec) {
-		if err := phase(p); err != nil {
-			return err
-		}
-	}
-	return p.Sync()
+// crashSegments is the MAB file activity cut into quiescent segments
+// (one process each, machine drained between): staging, the five
+// phases, and a final sync. Power can be cut at any instant — the
+// crash trial runs whole segments up to the one containing the crash
+// point, then cuts power mid-segment. Segment boundaries are also
+// where the fork fast path snapshots: goroutine stacks cannot be
+// captured, so a snapshot needs a drained machine.
+func crashSegments(spec apps.TreeSpec) []mabSegment {
+	return append(mabSegmentList(spec), mabSegment{
+		name: "crash-sync",
+		body: func(p unix.Proc) error { return p.Sync() },
+	})
 }
 
 // CrashEnumerate runs the sweep on a Xok/ExOS machine.
@@ -123,7 +128,13 @@ func CrashEnumerate(cfg CrashConfig) (CrashResult, error) {
 	}
 
 	// Probe run: record every write-completion boundary while the
-	// workload runs to completion.
+	// workload runs to completion, segment by segment. segStarts[i] is
+	// the virtual time segment i began at; with Snapshot on, snaps[i]
+	// freezes the machine at that same instant, so a crash trial can
+	// fork straight to the start of the segment containing its crash
+	// point.
+	spec := mabTree()
+	segs := crashSegments(spec)
 	probe, pp := boot()
 	var boundaries []sim.Time
 	pp.ObserveWrites(func(at sim.Time, block int64, count int) {
@@ -131,14 +142,37 @@ func CrashEnumerate(cfg CrashConfig) (CrashResult, error) {
 			boundaries = append(boundaries, at)
 		}
 	})
+	segStarts := make([]sim.Time, len(segs))
+	var snaps []*machine.Snapshot
+	if cfg.Snapshot {
+		snaps = make([]*machine.Snapshot, len(segs))
+		defer func() {
+			for _, sn := range snaps {
+				if sn != nil {
+					sn.Release()
+				}
+			}
+		}()
+	}
 	var werr error
-	probe.SpawnProc("crash-mab", 0, func(p unix.Proc) { werr = crashWorkload(p) })
-	probe.Run()
+	for i, seg := range segs {
+		segStarts[i] = probe.Now()
+		if cfg.Snapshot {
+			sn, err := probe.Snapshot()
+			if err != nil {
+				probe.Close()
+				return CrashResult{}, fmt.Errorf("crash probe snapshot: %w", err)
+			}
+			snaps[i] = sn
+		}
+		exec(probe, seg.name, seg.body, &werr)
+		if werr != nil {
+			probe.Close()
+			return CrashResult{}, fmt.Errorf("crash workload: %w", werr)
+		}
+	}
 	probeName := probe.Name()
 	probe.Close()
-	if werr != nil {
-		return CrashResult{}, fmt.Errorf("crash workload: %w", werr)
-	}
 	if len(boundaries) == 0 {
 		return CrashResult{}, errors.New("crash workload produced no write boundaries")
 	}
@@ -158,8 +192,27 @@ func CrashEnumerate(cfg CrashConfig) (CrashResult, error) {
 		// One cycle before the completion event: the write is still
 		// in flight, so a torn-writes plan tears it in the image.
 		at := pts[i] - 1
-		m, _ := boot()
-		m.SpawnProc("crash-mab", 0, func(p unix.Proc) { _ = crashWorkload(p) })
+		// The segment the crash lands in: the last one starting at or
+		// before the crash instant.
+		k := sort.Search(len(segStarts), func(j int) bool { return segStarts[j] > at }) - 1
+		if k < 0 {
+			k = 0
+		}
+		var m Machine
+		if cfg.Snapshot {
+			// Fork to the start of segment k. Concurrent trials fork from
+			// one snapshot safely: it is read-only, pages and blocks are
+			// copy-on-write.
+			m = machine.Fork(snaps[k])
+		} else {
+			var serr error
+			m, _ = boot()
+			for _, seg := range segs[:k] {
+				exec(m, seg.name, seg.body, &serr)
+			}
+			_ = serr // the probe already validated the workload
+		}
+		m.SpawnProc(segs[k].name, 0, func(p unix.Proc) { _ = segs[k].body(p) })
 		img := m.Crash(at)
 		// AuditImage consumes img; Close recycles the crashed machine's
 		// buffers for the next trial's boot.

@@ -94,3 +94,34 @@ func TestCrashParallelMatchesSerial(t *testing.T) {
 		}
 	}
 }
+
+// TestCrashSnapshotMatchesFromBoot: the fork-based fast path (trials
+// fork from the segment-boundary snapshot nearest their crash point)
+// must reproduce the from-boot sweep exactly — same boundaries, same
+// crash instants, same audit findings, same digest — serially and
+// with trials forking concurrently from shared snapshots.
+func TestCrashSnapshotMatchesFromBoot(t *testing.T) {
+	mk := func(snapshot bool, workers int) CrashResult {
+		res, err := CrashEnumerate(CrashConfig{
+			Plan:      &fault.Plan{Seed: 42, TornWrites: true},
+			MaxPoints: 8,
+			Parallel:  workers,
+			Snapshot:  snapshot,
+		})
+		if err != nil {
+			t.Fatalf("snapshot=%v parallel=%d: %v", snapshot, workers, err)
+		}
+		return res
+	}
+	ref := mk(false, 1)
+	if ref.Violations() != 0 {
+		t.Fatalf("from-boot sweep: %d crash points failed recovery", ref.Violations())
+	}
+	for _, workers := range []int{1, 4} {
+		got := mk(true, workers)
+		if got.Digest != ref.Digest || got.Boundaries != ref.Boundaries || len(got.Points) != len(ref.Points) {
+			t.Fatalf("snapshot parallel=%d: digest %#x boundaries %d points %d, from-boot digest %#x boundaries %d points %d",
+				workers, got.Digest, got.Boundaries, len(got.Points), ref.Digest, ref.Boundaries, len(ref.Points))
+		}
+	}
+}

@@ -75,6 +75,30 @@ func MAB(m Machine) (MABResult, error) {
 	return res, nil
 }
 
+// mabSegment is one quiescent-to-quiescent unit of the benchmark: a
+// single process, with the machine drained after it. Segment
+// boundaries are where snapshots are legal — the crash-enumeration
+// fork path and the replay-equivalence tests are built on them.
+type mabSegment struct {
+	name string
+	body func(p unix.Proc) error
+}
+
+// mabSegmentList is the benchmark as segments: staging (with a sync)
+// then the five phases.
+func mabSegmentList(spec apps.TreeSpec) []mabSegment {
+	segs := []mabSegment{{name: "mab-setup", body: func(p unix.Proc) error {
+		if e := apps.WriteTree(p, "/mabsrc", spec); e != nil {
+			return e
+		}
+		return p.Sync()
+	}}}
+	for i, phase := range mabPhaseFuncs(spec) {
+		segs = append(segs, mabSegment{name: "mab-" + MABPhases[i], body: phase})
+	}
+	return segs
+}
+
 // mabPhaseFuncs builds the five phase bodies over spec, in MABPhases
 // order. MAB runs each in its own process; the crash-enumeration
 // harness runs them back to back inside one.

@@ -16,9 +16,9 @@ import (
 // `make bench` runs these once (-benchtime=1x) and folds the numbers
 // into BENCH_sim.json.
 
-func benchDifftest(b *testing.B, workers int) {
+func benchDifftest(b *testing.B, workers int, snapshot bool) {
 	for i := 0; i < b.N; i++ {
-		div, err := difftest.Fuzz(difftest.Options{Seeds: 100, Parallel: workers})
+		div, err := difftest.Fuzz(difftest.Options{Seeds: 100, Parallel: workers, Snapshot: snapshot})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -28,15 +28,23 @@ func benchDifftest(b *testing.B, workers int) {
 	}
 }
 
-func BenchmarkDifftest100Serial(b *testing.B)    { benchDifftest(b, 1) }
-func BenchmarkDifftest100Parallel4(b *testing.B) { benchDifftest(b, 4) }
+func BenchmarkDifftest100Serial(b *testing.B)    { benchDifftest(b, 1, false) }
+func BenchmarkDifftest100Parallel4(b *testing.B) { benchDifftest(b, 4, false) }
 
-func benchCrashSweep(b *testing.B, workers int) {
+// The Snapshot variants run the identical campaign with the fork fast
+// path on (seeds fork per-personality post-boot snapshots instead of
+// re-booting); outcomes are bit-identical, only wall-clock moves. The
+// benchjson derivation pairs each with its from-boot twin above.
+func BenchmarkDifftest100SnapshotSerial(b *testing.B)    { benchDifftest(b, 1, true) }
+func BenchmarkDifftest100SnapshotParallel4(b *testing.B) { benchDifftest(b, 4, true) }
+
+func benchCrashSweep(b *testing.B, workers int, snapshot bool) {
 	for i := 0; i < b.N; i++ {
 		res, err := workload.CrashEnumerate(workload.CrashConfig{
 			Plan:      &fault.Plan{Seed: 42, TornWrites: true},
 			MaxPoints: 12,
 			Parallel:  workers,
+			Snapshot:  snapshot,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -47,8 +55,13 @@ func benchCrashSweep(b *testing.B, workers int) {
 	}
 }
 
-func BenchmarkCrashSweepSerial(b *testing.B)    { benchCrashSweep(b, 1) }
-func BenchmarkCrashSweepParallel4(b *testing.B) { benchCrashSweep(b, 4) }
+func BenchmarkCrashSweepSerial(b *testing.B)    { benchCrashSweep(b, 1, false) }
+func BenchmarkCrashSweepParallel4(b *testing.B) { benchCrashSweep(b, 4, false) }
+
+// Snapshot variants: crash trials fork from the probe's segment
+// snapshots instead of re-running the workload prefix from boot.
+func BenchmarkCrashSweepSnapshotSerial(b *testing.B)    { benchCrashSweep(b, 1, true) }
+func BenchmarkCrashSweepSnapshotParallel4(b *testing.B) { benchCrashSweep(b, 4, true) }
 
 func benchCluster(b *testing.B, workers int) {
 	for i := 0; i < b.N; i++ {
