@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race crash fuzz-smoke race-parallel perf-sanity cluster-smoke snapshot-smoke check bench
+.PHONY: all build fmt vet test race crash fuzz-smoke race-parallel perf-sanity cluster-smoke shard-smoke snapshot-smoke check bench
 
 all: check
 
@@ -41,14 +41,16 @@ race-parallel:
 	$(GO) run -race ./cmd/xok-bench -run difftest -seeds 12 -parallel 4
 
 # Perf sanity: the difftest campaign fanned across 4 workers must not
-# be slower than the same campaign serial beyond a generous tolerance
-# (single-CPU hosts legitimately see speedup ~1; what this catches is
-# the pool actively LOSING to serial — coordination overhead or
-# shared-state contention). Reduced seed count keeps it quick; the
-# XOK_PERF_SANITY guard keeps the wall-clock assertion out of ordinary
-# `go test ./...` runs where it would be noise.
+# be slower than the same campaign serial beyond a generous tolerance,
+# and likewise the sharded cluster cell against its single-engine twin
+# (single-CPU hosts legitimately see speedup ~1, and hosts with >= 4
+# CPUs must see the sharded cell actually win; what this catches is
+# the harness actively LOSING to serial — coordination overhead or
+# shared-state contention). Reduced sizes keep it quick; the
+# XOK_PERF_SANITY guard keeps the wall-clock assertions out of
+# ordinary `go test ./...` runs where they would be noise.
 perf-sanity:
-	XOK_PERF_SANITY=1 $(GO) test -run TestPerfSanityParallelNotSlower -count=1 -v .
+	XOK_PERF_SANITY=1 $(GO) test -run TestPerfSanity -count=1 -v .
 
 # Cluster smoke: a small topology-fabric sweep (1 server vs 2 behind
 # the balancer) end to end through the xok-bench CLI. Guards the whole
@@ -57,6 +59,13 @@ perf-sanity:
 # byte-identical check lives in TestClusterParallelMatchesSerial).
 cluster-smoke:
 	$(GO) run ./cmd/xok-bench -run cluster -servers 2 -conns 300
+
+# Shard smoke: the same tiny cluster with its fabric split across
+# per-server islands, under the race detector — the canary for the
+# conservative parallel scheduler's cross-island channels (the full
+# byte-identity check lives in TestClusterShardMatchesSingleEngine).
+shard-smoke:
+	$(GO) run -race ./cmd/xok-bench -run cluster -servers 2 -conns 300 -shard 2
 
 # Snapshot smoke: the fork fast path's equivalence guards, re-run
 # (-count=1) under the race detector — replay equivalence (fork at a
@@ -74,7 +83,7 @@ snapshot-smoke:
 # crash-enumeration sweep re-runs, the differential fuzz smoke
 # campaign comes back clean, snapshot forking reproduces boot runs
 # bit-exactly, and the parallel harness is not slower than serial.
-check: build fmt vet race race-parallel crash fuzz-smoke cluster-smoke snapshot-smoke perf-sanity
+check: build fmt vet race race-parallel crash fuzz-smoke cluster-smoke shard-smoke snapshot-smoke perf-sanity
 
 # Wall-clock benchmark baseline, committed as BENCH_sim.json so engine
 # or harness regressions show up as a diff. Two tiers: the engine
@@ -93,7 +102,7 @@ BenchmarkDifftest100Serial,BenchmarkDifftest100Parallel4,\
 BenchmarkDifftest100SnapshotSerial,BenchmarkDifftest100SnapshotParallel4,\
 BenchmarkCrashSweepSerial,BenchmarkCrashSweepParallel4,\
 BenchmarkCrashSweepSnapshotSerial,BenchmarkCrashSweepSnapshotParallel4,\
-BenchmarkClusterSerial,BenchmarkClusterParallel4
+BenchmarkClusterSerial,BenchmarkClusterParallel4,BenchmarkClusterShard4
 
 bench:
 	@{ $(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem ./internal/sim/ && \

@@ -47,6 +47,28 @@ type Speedup struct {
 	// ran with -benchmem.
 	AllocDeltaBytes   *float64 `json:"alloc_delta_bytes,omitempty"`
 	AllocDeltaObjects *float64 `json:"alloc_delta_objects,omitempty"`
+	// IntraRun is false for campaigns whose legs cannot fan out (e.g. a
+	// single cluster cell sweep: Parallel only distributes whole cells,
+	// so the worker count barely moves the number). It flags rows that
+	// must not be read as scaling evidence; see shard_speedups for the
+	// within-run comparison.
+	IntraRun *bool `json:"intra_run,omitempty"`
+}
+
+// ShardSpeedup is one derived single-engine-vs-sharded comparison: a
+// benchmark pair named <Base>Serial / <Base>Shard<k>, where the shard
+// side splits each simulated fabric across k concurrent islands
+// (conservative parallel simulation within one run, not a pool of
+// independent runs).
+type ShardSpeedup struct {
+	Base   string `json:"base"`
+	Shards int    `json:"shards"`
+	// Speedup is single-engine ns/op over sharded ns/op (>1 = sharding
+	// wins).
+	Speedup float64 `json:"speedup"`
+	// SerialNsOp/ShardNsOp restate the inputs for review diffs.
+	SerialNsOp float64 `json:"serial_ns_op"`
+	ShardNsOp  float64 `json:"shard_ns_op"`
 }
 
 // SnapshotSpeedup is one derived boot-vs-fork comparison: a benchmark
@@ -76,6 +98,9 @@ type Report struct {
 	// <Base>Snapshot<Mode> benchmark pairs, in the snapshot side's
 	// input order.
 	SnapshotSpeedups []SnapshotSpeedup `json:"snapshot_speedups,omitempty"`
+	// ShardSpeedups is derived from <Base>Serial / <Base>Shard<k>
+	// benchmark pairs, in the serial side's input order.
+	ShardSpeedups []ShardSpeedup `json:"shard_speedups,omitempty"`
 }
 
 func main() {
@@ -113,6 +138,7 @@ func main() {
 	}
 	rep.ParallelSpeedups = deriveSpeedups(rep.Benchmarks)
 	rep.SnapshotSpeedups = deriveSnapshotSpeedups(rep.Benchmarks)
+	rep.ShardSpeedups = deriveShardSpeedups(rep.Benchmarks)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
@@ -141,6 +167,16 @@ func missingBenchmarks(expect string, got []Benchmark) []string {
 		}
 	}
 	return missing
+}
+
+// noIntraRunParallelism names the campaign bases whose Parallel legs
+// cannot fan out within a run — the worker pool only distributes whole
+// independent sub-runs, and this campaign has too few to matter (the
+// cluster sweep is three cells, dominated by the largest). Their
+// speedup rows are kept for the record but flagged intra_run: false so
+// nobody reads a ~1.0x as a regression or a ~Nx as scaling.
+var noIntraRunParallelism = map[string]bool{
+	"BenchmarkCluster": true,
 }
 
 // deriveSpeedups pairs <Base>Serial with every <Base>Parallel<k> and
@@ -188,7 +224,50 @@ func deriveSpeedups(benches []Benchmark) []Speedup {
 				d := pA - sA
 				sp.AllocDeltaObjects = &d
 			}
+			if noIntraRunParallelism[base] {
+				f := false
+				sp.IntraRun = &f
+			}
 			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// deriveShardSpeedups pairs <Base>Serial with every <Base>Shard<k>:
+// the same campaign on one engine versus split across k concurrent
+// islands inside each run.
+func deriveShardSpeedups(benches []Benchmark) []ShardSpeedup {
+	byName := make(map[string]Benchmark, len(benches))
+	for _, b := range benches {
+		byName[b.Name] = b
+	}
+	var out []ShardSpeedup
+	for _, s := range benches {
+		base, ok := strings.CutSuffix(s.Name, "Serial")
+		if !ok {
+			continue
+		}
+		for _, p := range benches {
+			rest, ok := strings.CutPrefix(p.Name, base+"Shard")
+			if !ok {
+				continue
+			}
+			shards, err := strconv.Atoi(rest)
+			if err != nil {
+				continue
+			}
+			sNs, pNs := s.Metrics["ns/op"], p.Metrics["ns/op"]
+			if sNs == 0 || pNs == 0 {
+				continue
+			}
+			out = append(out, ShardSpeedup{
+				Base:       base,
+				Shards:     shards,
+				Speedup:    sNs / pNs,
+				SerialNsOp: sNs,
+				ShardNsOp:  pNs,
+			})
 		}
 	}
 	return out

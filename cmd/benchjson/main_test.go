@@ -75,6 +75,51 @@ func TestDeriveSpeedups(t *testing.T) {
 	}
 }
 
+func TestDeriveSpeedupsIntraRunFlag(t *testing.T) {
+	benches := []Benchmark{
+		{Name: "BenchmarkClusterSerial", Metrics: map[string]float64{"ns/op": 100e6}},
+		{Name: "BenchmarkClusterParallel4", Metrics: map[string]float64{"ns/op": 98e6}},
+		{Name: "BenchmarkDifftest100Serial", Metrics: map[string]float64{"ns/op": 800e6}},
+		{Name: "BenchmarkDifftest100Parallel4", Metrics: map[string]float64{"ns/op": 400e6}},
+	}
+	got := deriveSpeedups(benches)
+	if len(got) != 2 {
+		t.Fatalf("derived %d speedups, want 2: %+v", len(got), got)
+	}
+	for _, s := range got {
+		switch s.Base {
+		case "BenchmarkCluster":
+			if s.IntraRun == nil || *s.IntraRun {
+				t.Fatalf("cluster row must be flagged intra_run=false: %+v", s)
+			}
+		default:
+			if s.IntraRun != nil {
+				t.Fatalf("%s must not carry the intra_run flag: %+v", s.Base, s)
+			}
+		}
+	}
+}
+
+func TestDeriveShardSpeedups(t *testing.T) {
+	benches := []Benchmark{
+		{Name: "BenchmarkClusterSerial", Metrics: map[string]float64{"ns/op": 900e6}},
+		{Name: "BenchmarkClusterShard4", Metrics: map[string]float64{"ns/op": 300e6}},
+		{Name: "BenchmarkClusterShardX", Metrics: map[string]float64{"ns/op": 5}}, // malformed count
+		{Name: "BenchmarkUnpairedShard2", Metrics: map[string]float64{"ns/op": 5}},
+	}
+	got := deriveShardSpeedups(benches)
+	if len(got) != 1 {
+		t.Fatalf("derived %d shard speedups, want 1: %+v", len(got), got)
+	}
+	s := got[0]
+	if s.Base != "BenchmarkCluster" || s.Shards != 4 {
+		t.Fatalf("pairing wrong: %+v", s)
+	}
+	if s.Speedup != 3.0 {
+		t.Fatalf("speedup = %v, want 3.0", s.Speedup)
+	}
+}
+
 func TestDeriveSnapshotSpeedups(t *testing.T) {
 	benches := []Benchmark{
 		{Name: "BenchmarkCrashSweepSerial", Metrics: map[string]float64{"ns/op": 600e6}},

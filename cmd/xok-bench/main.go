@@ -78,6 +78,7 @@ var (
 	serversFlag  = flag.Int("servers", 4, "cluster: backend machine count")
 	connsFlag    = flag.Int("conns", 2000, "cluster: open-loop connection arrivals per cell")
 	rateFlag     = flag.Float64("rate", 0, "cluster: offered arrivals per virtual second (0 = default)")
+	shardFlag    = flag.Int("shard", 0, "cluster: shard each cell's fabric across this many concurrent islands (0 = single-engine); stdout is byte-identical at any setting, incompatible with -trace/-hist")
 )
 
 // bench carries the shared experiment knobs: the optional trace sink
@@ -88,6 +89,7 @@ var bench core.Bench
 func main() {
 	flag.Parse()
 	bench.Parallel = parallel.Workers(*parallelFlag)
+	bench.Shard = *shardFlag
 	var tr *trace.Tracer
 	if *traceFlag != "" || *histFlag {
 		tr = trace.New()

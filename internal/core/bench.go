@@ -40,6 +40,12 @@ type BenchOpts struct {
 	// cmd/xok-bench resolves its -parallel flag (0 = one worker per
 	// CPU) with parallel.Workers before setting this.
 	Parallel int
+	// Shard partitions each cluster cell's fabric across this many
+	// concurrent islands (conservative parallel simulation inside one
+	// run, vs Parallel's across-runs pool). Only the cluster
+	// experiment honors it; 0 runs single-engine. Incompatible with
+	// Trace — sharded cells refuse a full tracer.
+	Shard int
 }
 
 func (b *Bench) workers() int {
@@ -174,6 +180,7 @@ func (b *Bench) Cluster(cells []workload.ClusterConfig) ([]workload.ClusterResul
 	return runLegs(b, len(cells), func(i int, tr *trace.Tracer) (workload.ClusterResult, error) {
 		cfg := cells[i]
 		cfg.Trace = tr
+		cfg.Shard = b.Shard
 		return workload.Cluster(cfg)
 	})
 }

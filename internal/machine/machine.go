@@ -155,7 +155,11 @@ func New(cfg Config) (Machine, error) {
 		if cfg.Net.Topology == nil {
 			return nil, fmt.Errorf("machine: Net attachment without a topology")
 		}
-		eng = cfg.Net.Topology.Engine()
+		if n := cfg.Net.Topology.Islands(); int(cfg.Net.Island) >= n {
+			return nil, fmt.Errorf("machine: attachment island %d out of range (topology has %d)",
+				cfg.Net.Island, n)
+		}
+		eng = cfg.Net.Topology.IslandEngine(cfg.Net.Island)
 	}
 	var m Machine
 	switch cfg.Personality {
@@ -174,7 +178,7 @@ func New(cfg Config) (Machine, error) {
 		if cfg.Personality == XokUnprotected {
 			s.X.FreeCost = true
 		}
-		m = Xok{S: s}
+		m = Xok{S: s, net: cfg.Net}
 	case FreeBSD, OpenBSD, OpenBSDCFFS:
 		if cfg.SharedMemPipes {
 			return nil, fmt.Errorf("machine: %s has no shared-memory pipes", cfg.Personality)
@@ -197,7 +201,7 @@ func New(cfg Config) (Machine, error) {
 			Faults:     cfg.Faults,
 			Eng:        eng,
 		})
-		m = BSD{S: s}
+		m = BSD{S: s, net: cfg.Net}
 	default:
 		return nil, fmt.Errorf("machine: unknown personality %d", int(cfg.Personality))
 	}
@@ -233,7 +237,11 @@ func Runner(m Machine) ostest.RunFunc {
 // Xok wraps an ExOS system as a Machine. The underlying system is
 // exported for experiments that reach below the UNIX surface (XCP
 // drives the file cache and XN directly).
-type Xok struct{ S *exos.System }
+type Xok struct {
+	S *exos.System
+
+	net *netsim.Attachment // nil for stand-alone machines and forks
+}
 
 // Name implements Machine.
 func (m Xok) Name() string { return "Xok/ExOS" }
@@ -268,7 +276,11 @@ func (m Xok) FSSpec() (string, cffs.Config) { return "cffs", cffs.DefaultConfig(
 func (m Xok) Close() { m.S.K.Release() }
 
 // BSD wraps a BSD system as a Machine.
-type BSD struct{ S *bsdos.System }
+type BSD struct {
+	S *bsdos.System
+
+	net *netsim.Attachment // nil for stand-alone machines and forks
+}
 
 // Name implements Machine.
 func (m BSD) Name() string { return m.S.Variant.String() }

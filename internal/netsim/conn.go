@@ -261,11 +261,11 @@ func (c *Conn) sendToClient(flags uint8, payload, seq int) {
 	k := c.backend.K
 	k.Stats.Inc(sim.CtrPacketsTx)
 	if tr := k.Trace; tr != nil {
-		tr.Instant(k.TracePID, c.lane(), "net", "tx", c.t.eng.Now(),
+		tr.Instant(k.TracePID, c.lane(), "net", "tx", c.backend.rt.eng.Now(),
 			trace.Arg{Key: "seq", Val: strconv.Itoa(seq)},
 			trace.Arg{Key: "payload", Val: strconv.Itoa(payload)})
 	}
-	pkt := c.t.newPacket()
+	pkt := c.backend.rt.newPacket()
 	pkt.SrcPort, pkt.DstPort, pkt.Conn = ServerPort, c.clientPort, c
 	pkt.Flags, pkt.Payload, pkt.Seq = flags, payload, seq
 	c.t.xmit(c.rev, pkt, c.deliverAndRelease)

@@ -117,7 +117,8 @@ func TestForkPerRequestThrottles(t *testing.T) {
 
 func TestWireTimeSerializesLink(t *testing.T) {
 	eng := sim.NewEngine()
-	l := &link{eng: eng, bps: sim.LinkBandwidthBps, latency: sim.LinkLatency}
+	rt := &islandRT{eng: eng}
+	l := &link{rt: [2]*islandRT{rt, rt}, bps: sim.LinkBandwidthBps, latency: sim.LinkLatency}
 	var first, second sim.Time
 	l.transmit(0, 1460, func() { first = eng.Now() })
 	l.transmit(0, 1460, func() { second = eng.Now() })

@@ -94,6 +94,13 @@ var defaultClasses = []RequestClass{{Name: "doc", DocSize: 1024, Weight: 1}}
 // seeded stream, so the offered load is identical no matter how the
 // cluster behind Target responds.
 func (t *Topology) OpenLoop(cfg OpenLoopConfig) *OpenPool {
+	if len(t.islands) > 1 {
+		// The pool's arrival clock, connection state and counters all
+		// live on the root island's engine.
+		if t.hosts[cfg.From].rt != t.islands[0] || t.hosts[cfg.Target].rt != t.islands[0] {
+			panic("netsim: OpenLoop source and target must live on the root island of a sharded fabric")
+		}
+	}
 	if cfg.Rate <= 0 {
 		cfg.Rate = 1000
 	}

@@ -1,0 +1,127 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+
+	"xok/internal/fault"
+)
+
+// shardPair builds a two-island fabric: host a on the root island,
+// host b on its own island, one link between them.
+func shardPair(t *testing.T, spec LinkSpec) (*Topology, HostID, HostID) {
+	t.Helper()
+	tp := NewTopology()
+	a := tp.AddHost("a")
+	b := tp.AddHost("b")
+	isl := tp.AddIsland()
+	tp.hosts[b].rt = tp.islands[isl]
+	tp.Link(a, b, spec)
+	return tp, a, b
+}
+
+// TestRunShardedRejectsZeroLatencyCrossLink: a zero-latency link
+// between islands admits no lookahead; RunSharded must refuse it with
+// a diagnostic naming the hosts — and return, never deadlock.
+func TestRunShardedRejectsZeroLatencyCrossLink(t *testing.T) {
+	tp, _, _ := shardPair(t, LinkSpec{})
+	// LinkSpec cannot express zero latency publicly (0 means the
+	// default); force it the way a future partitioner bug would.
+	tp.links[0].latency = 0
+	err := tp.RunSharded()
+	if err == nil {
+		t.Fatal("RunSharded accepted a zero-latency cross-island link")
+	}
+	for _, want := range []string{"a", "b", "zero-latency"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestRunShardedRejectsLossyCrossLink: per-link loss draws must stay
+// island-local, so a lossy cross-island link is refused.
+func TestRunShardedRejectsLossyCrossLink(t *testing.T) {
+	tp, _, _ := shardPair(t, LinkSpec{LossRate: 10})
+	if err := tp.RunSharded(); err == nil {
+		t.Fatal("RunSharded accepted a lossy cross-island link")
+	}
+}
+
+// TestRunShardedRejectsGlobalNondeterminism: fabric-wide loss and
+// fault plans draw from global streams a partitioned run cannot
+// reproduce.
+func TestRunShardedRejectsGlobalNondeterminism(t *testing.T) {
+	tp, _, _ := shardPair(t, LinkSpec{})
+	tp.LossRate = 100
+	if err := tp.RunSharded(); err == nil {
+		t.Fatal("RunSharded accepted a fabric-wide LossRate")
+	}
+	tp.LossRate = 0
+	tp.Faults = &fault.Plan{}
+	if err := tp.RunSharded(); err == nil {
+		t.Fatal("RunSharded accepted a fault plan")
+	}
+}
+
+// pingPong bounces one packet back and forth across the cross-island
+// link; each side draws from its own island freelist and releases
+// what lands on it, so a warmed steady state recycles every packet.
+type pingPong struct {
+	tp       *Topology
+	ab, ba   []hop
+	left     int
+	deliverA func(*Packet)
+	deliverB func(*Packet)
+}
+
+func (pp *pingPong) send(path []hop, deliver func(*Packet)) {
+	from := path[0].l.rt[path[0].dir]
+	pkt := from.newPacket()
+	pkt.SrcPort, pkt.DstPort = 9999, ServerPort
+	pkt.Payload = MSS
+	pp.tp.xmit(path, pkt, deliver)
+}
+
+// TestCrossIslandHandoffSteadyStateAllocs pins the allocation count of
+// the cross-partition packet hand-off: in steady state a round trip
+// costs only forward's per-hop transmit closures (one per direction) —
+// packets recycle through the island freelists and the channel rings
+// are warm, exactly as on the single-engine path.
+func TestCrossIslandHandoffSteadyStateAllocs(t *testing.T) {
+	tp, a, b := shardPair(t, LinkSpec{})
+	pp := &pingPong{tp: tp}
+	pp.ab = tp.appendPath(nil, a, b)
+	pp.ba = tp.appendPath(nil, b, a)
+	// deliverB runs on b's island: recycle the landed packet, volley
+	// back. deliverA runs on the root island: recycle, count, volley.
+	pp.deliverB = func(pkt *Packet) {
+		tp.hosts[b].rt.release(pkt)
+		pp.send(pp.ba, pp.deliverA)
+	}
+	pp.deliverA = func(pkt *Packet) {
+		tp.hosts[a].rt.release(pkt)
+		if pp.left--; pp.left > 0 {
+			pp.send(pp.ab, pp.deliverB)
+		}
+	}
+
+	const volleys = 400
+	run := func() {
+		pp.left = volleys
+		tp.Engine().At(tp.Engine().Now(), func() { pp.send(pp.ab, pp.deliverB) })
+		if err := tp.RunSharded(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm freelists and channel rings
+
+	avg := testing.AllocsPerRun(3, run)
+	// 2 transmit closures per round trip, plus the run's fixed
+	// overhead (goroutines, termination state) amortized over the
+	// volleys. Anything near 3/volley means packets or ring slots are
+	// being reallocated per message.
+	if perVolley := avg / volleys; perVolley > 2.5 {
+		t.Fatalf("cross-island hand-off: %.2f allocs/volley, want <= 2.5", perVolley)
+	}
+}

@@ -50,6 +50,7 @@ const RTO = 80 * sim.Millisecond
 type NIC struct {
 	t    *Topology
 	host *host
+	rt   *islandRT // the machine's island: its engine and freelist
 	K    *kernel.Kernel
 	DPF  *dpf.Engine
 
@@ -66,17 +67,17 @@ func (nic *NIC) rx(pkt *Packet) {
 	nic.K.ChargeInterrupt(sim.CostNICInterrupt)
 	nic.K.Stats.Inc(sim.CtrPacketsRx)
 	if tr := nic.K.Trace; tr != nil && pkt.Conn != nil {
-		tr.Instant(nic.K.TracePID, pkt.Conn.lane(), "net", "rx", nic.t.eng.Now())
+		tr.Instant(nic.K.TracePID, pkt.Conn.lane(), "net", "rx", nic.rt.eng.Now())
 	}
 	nic.K.ChargeInterrupt(sim.CostPacketFilter)
 	owner, ok := nic.DPF.Dispatch(pkt.HeaderInto(nic.hdrBuf[:]))
 	if !ok {
-		nic.t.release(pkt)
+		nic.rt.release(pkt)
 		return // no filter claims it: dropped
 	}
 	ring, ok := owner.(*ring)
 	if !ok {
-		nic.t.release(pkt)
+		nic.rt.release(pkt)
 		return
 	}
 	ring.push(pkt)
@@ -124,7 +125,7 @@ func (nic *NIC) Serve(env *kernel.Env, cfg StackConfig, handler Handler, stopAt 
 	if stopAt > 0 {
 		// Stop event so the server wakes up and notices the deadline
 		// even if traffic is in flight.
-		nic.t.eng.At(stopAt, func() { nic.K.Wake(env) })
+		nic.rt.eng.At(stopAt, func() { nic.K.Wake(env) })
 	}
 	s.loop()
 	return s
@@ -132,7 +133,7 @@ func (nic *NIC) Serve(env *kernel.Env, cfg StackConfig, handler Handler, stopAt 
 
 // expired reports whether the serve deadline has passed.
 func (s *Stack) expired() bool {
-	return s.stopAt > 0 && s.nic.t.eng.Now() >= s.stopAt
+	return s.stopAt > 0 && s.nic.rt.eng.Now() >= s.stopAt
 }
 
 // wait blocks the server until a packet arrives or the deadline hits.
@@ -175,7 +176,7 @@ func (s *Stack) loop() {
 			}
 		}
 		// The ring handed us this delivery; processing is done.
-		s.nic.t.release(pkt)
+		s.nic.rt.release(pkt)
 	}
 }
 
@@ -210,7 +211,7 @@ func (s *Stack) serveRequest(c *Conn) {
 		// the handler already ran; the RTO covers delivery.
 		return
 	}
-	c.tsReq = s.nic.t.eng.Now()
+	c.tsReq = s.nic.rt.eng.Now()
 	// Receive-side processing of the request segment.
 	s.env.Use(s.cfg.PerPacket)
 	if s.cfg.CopyOnSend {
@@ -268,14 +269,14 @@ func (s *Stack) sendFrom(c *Conn, from int, first bool) {
 // armRTO schedules the retransmission timer; firing enqueues a marker
 // packet the server loop handles with CPU properly charged.
 func (s *Stack) armRTO(c *Conn) {
-	eng := s.nic.t.eng
+	eng := s.nic.rt.eng
 	eng.Cancel(c.rto)
 	c.rto = eng.After(c.serverTimeout(), func() {
 		c.rto = sim.Event{}
 		if c.srvDone || s.expired() {
 			return
 		}
-		mp := s.nic.t.newPacket()
+		mp := s.nic.rt.newPacket()
 		mp.Flags, mp.Conn, mp.refs = flagRetransmit, c, 1
 		s.inbox = append(s.inbox, mp)
 		s.nic.K.Wake(s.env)
@@ -298,10 +299,10 @@ func (s *Stack) retransmit(c *Conn) {
 // retireConn tears down a fully-acknowledged connection.
 func (s *Stack) retireConn(c *Conn) {
 	if tr := s.nic.K.Trace; tr != nil {
-		tr.Instant(s.nic.K.TracePID, c.lane(), "http", "retire", s.nic.t.eng.Now())
+		tr.Instant(s.nic.K.TracePID, c.lane(), "http", "retire", s.nic.rt.eng.Now())
 	}
 	c.srvDone = true
-	s.nic.t.eng.Cancel(c.rto)
+	s.nic.rt.eng.Cancel(c.rto)
 	c.rto = sim.Event{}
 	if c.hasFilter {
 		_ = s.nic.DPF.Remove(c.filterID)

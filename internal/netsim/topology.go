@@ -1,14 +1,66 @@
 package netsim
 
 import (
+	"fmt"
+
 	"xok/internal/dpf"
 	"xok/internal/fault"
 	"xok/internal/kernel"
+	"xok/internal/parallel"
 	"xok/internal/sim"
 )
 
 // HostID names one node of a Topology.
 type HostID int
+
+// IslandID names one partition of a sharded Topology. Island 0 — the
+// root — is the topology's original engine; every plain host and load
+// balancer lives there. AddIsland creates further islands, each with
+// its own engine and clock, for machines to boot onto (see
+// Attachment.Island); RunSharded then executes the islands on
+// concurrent workers under conservative (lookahead-based) time
+// synchronization, with results byte-identical to a single engine.
+type IslandID int
+
+// islandRT is the per-island runtime: the engine, the packet freelist
+// and the drop counter, each touched only by the island that owns it
+// (the whole point — no cross-island locking on the fast path). The
+// root island's counter aliases Topology.Drops; the others accumulate
+// locally and fold into it after a sharded run joins.
+type islandRT struct {
+	id  int
+	eng *sim.Engine
+	isl *sim.Island // created when the fabric is first wired for sharding
+
+	// freePkts recycles Packet objects island-locally: a saturated run
+	// sends hundreds of thousands of segments whose lifetime is a few
+	// events. A packet crossing islands is freed — and later reused —
+	// by the island it landed on.
+	freePkts []*Packet
+
+	drops      *int64
+	localDrops int64
+}
+
+// newPacket returns a zeroed Packet from the island's freelist.
+func (rt *islandRT) newPacket() *Packet {
+	if k := len(rt.freePkts); k > 0 {
+		p := rt.freePkts[k-1]
+		rt.freePkts = rt.freePkts[:k-1]
+		*p = Packet{}
+		return p
+	}
+	return &Packet{}
+}
+
+// release drops one pending delivery; the last one frees the packet
+// into this island's freelist.
+func (rt *islandRT) release(p *Packet) {
+	p.refs--
+	if p.refs == 0 {
+		rt.freePkts = append(rt.freePkts, p)
+	}
+}
 
 // Policy selects how a load balancer spreads new connections over its
 // backends.
@@ -58,10 +110,16 @@ type LinkSpec struct {
 
 // link is one full-duplex wire between two hosts. Direction 0 is
 // a-to-b, direction 1 is b-to-a; each direction serializes frames
-// against its own transmit horizon.
+// against its own transmit horizon. rt[dir] is the island of the
+// direction's SENDING host — the only island that ever touches
+// busy[dir], which is what keeps the horizons race-free under
+// sharding. xch[dir] is the cross-island hand-off channel when the
+// endpoints live on different islands (nil for intra-island links):
+// the link's propagation latency is the channel's lookahead.
 type link struct {
-	eng     *sim.Engine
 	a, b    HostID
+	rt      [2]*islandRT
+	xch     [2]*sim.Channel
 	bps     uint64
 	latency sim.Time
 	queue   int
@@ -83,20 +141,30 @@ func (l *link) full(dir int) bool {
 	if l.queue <= 0 {
 		return false
 	}
-	backlog := l.busy[dir] - l.eng.Now()
+	backlog := l.busy[dir] - l.rt[dir].eng.Now()
 	return backlog > sim.Time(l.queue)*l.wire(MSS)
 }
 
 // transmit serializes a frame on one direction and schedules delivery
-// after the wire time plus propagation.
+// after the wire time plus propagation — on the sender's own engine
+// for an intra-island link, or through the cross-island channel when
+// the far end lives on another island. Serialization makes arrival
+// timestamps per direction strictly increasing (tx is at least one
+// cycle), which is exactly the channel's ordering contract.
 func (l *link) transmit(dir int, payload int, deliver func()) {
-	start := l.eng.Now()
+	rt := l.rt[dir]
+	start := rt.eng.Now()
 	if l.busy[dir] > start {
 		start = l.busy[dir]
 	}
 	tx := l.wire(payload)
 	l.busy[dir] = start + tx
-	l.eng.At(start+tx+l.latency, deliver)
+	at := start + tx + l.latency
+	if ch := l.xch[dir]; ch != nil {
+		ch.Send(at, deliver)
+		return
+	}
+	rt.eng.At(at, deliver)
 }
 
 // hop is one directed traversal of a link.
@@ -117,6 +185,7 @@ type host struct {
 	id   HostID
 	name string
 	kind hostKind
+	rt   *islandRT // the island this host's events run on
 	nic  *NIC
 	lb   *lbState
 	adj  []adjEntry // links out of this host, insertion order
@@ -198,11 +267,13 @@ type Topology struct {
 	paths  map[pairKey][]HostID
 	trunks map[pairKey]*trunkSet
 
-	// freePkts recycles Packet objects fabric-locally: a saturated
-	// run sends hundreds of thousands of segments whose lifetime is a
-	// few events. The whole fabric is sequential (engine callbacks
-	// and environment goroutines alternate), so no locking.
-	freePkts []*Packet
+	// islands[0] is the root (the topology's own engine — clients and
+	// balancers always live there); AddIsland appends the rest. All
+	// client-side connection logic, routing-table mutation and balancer
+	// state stays on the root island, which is what keeps the trace
+	// recording order — and so the digests — identical to a
+	// single-engine run.
+	islands []*islandRT
 }
 
 // NewTopology builds an empty fabric on a fresh event engine.
@@ -213,12 +284,44 @@ func NewTopology() *Topology {
 // NewTopologyOn builds an empty fabric on an existing engine —
 // machines attached later must already run on the same engine.
 func NewTopologyOn(eng *sim.Engine) *Topology {
-	return &Topology{
+	t := &Topology{
 		eng:     eng,
 		lossRNG: sim.NewRNG(0xfade),
 		paths:   make(map[pairKey][]HostID),
 		trunks:  make(map[pairKey]*trunkSet),
 	}
+	root := &islandRT{id: 0, eng: eng, drops: &t.Drops}
+	t.islands = []*islandRT{root}
+	return t
+}
+
+// AddIsland adds a partition with its own engine and clock. Machines
+// booted onto it (Attachment.Island) run concurrently with the other
+// islands under RunSharded; everything else about the fabric API is
+// unchanged. Islands must be added before the hosts that live on them.
+func (t *Topology) AddIsland() IslandID {
+	rt := &islandRT{id: len(t.islands), eng: sim.NewEngine()}
+	rt.drops = &rt.localDrops
+	t.islands = append(t.islands, rt)
+	return IslandID(rt.id)
+}
+
+// Islands reports the partition count (1 = unsharded).
+func (t *Topology) Islands() int { return len(t.islands) }
+
+// IslandEngine returns an island's engine; island 0 is Engine().
+func (t *Topology) IslandEngine(id IslandID) *sim.Engine {
+	return t.islands[id].eng
+}
+
+// rtByEngine finds the island runtime owning eng (nil if none).
+func (t *Topology) rtByEngine(eng *sim.Engine) *islandRT {
+	for _, rt := range t.islands {
+		if rt.eng == eng {
+			return rt
+		}
+	}
+	return nil
 }
 
 // Engine returns the fabric's event engine. Machines joining the
@@ -229,7 +332,7 @@ func (t *Topology) Engine() *sim.Engine { return t.eng }
 func (t *Topology) Now() sim.Time { return t.eng.Now() }
 
 func (t *Topology) addHost(name string, kind hostKind) *host {
-	h := &host{id: HostID(len(t.hosts)), name: name, kind: kind}
+	h := &host{id: HostID(len(t.hosts)), name: name, kind: kind, rt: t.islands[0]}
 	t.hosts = append(t.hosts, h)
 	return h
 }
@@ -242,14 +345,18 @@ func (t *Topology) AddHost(name string) HostID {
 }
 
 // AttachKernel adds a NIC host for an already-booted machine. The
-// kernel must run on the fabric's engine (boot it with
-// kernel.Config.Eng = t.Engine(), or let machine.Config.Net do it).
+// kernel must run on one of the fabric's island engines — the root
+// engine for an unsharded fabric (boot it with kernel.Config.Eng =
+// t.Engine(), or let machine.Config.Net do it), or an AddIsland engine
+// for a partitioned one. The host joins the kernel's island.
 func (t *Topology) AttachKernel(name string, k *kernel.Kernel) HostID {
-	if k.Eng != t.eng {
-		panic("netsim: AttachKernel: kernel is not on the topology's engine")
+	rt := t.rtByEngine(k.Eng)
+	if rt == nil {
+		panic("netsim: AttachKernel: kernel is not on any of the topology's island engines")
 	}
 	h := t.addHost(name, kindNIC)
-	h.nic = &NIC{t: t, host: h, K: k, DPF: dpf.NewEngine()}
+	h.rt = rt
+	h.nic = &NIC{t: t, host: h, K: k, DPF: dpf.NewEngine(), rt: rt}
 	return h.id
 }
 
@@ -283,7 +390,8 @@ func (t *Topology) Link(a, b HostID, spec LinkSpec) {
 		spec.Latency = sim.LinkLatency
 	}
 	l := &link{
-		eng: t.eng, a: a, b: b,
+		a: a, b: b,
+		rt:  [2]*islandRT{t.hosts[a].rt, t.hosts[b].rt},
 		bps: spec.BandwidthBps, latency: spec.Latency,
 		queue: spec.Queue, loss: spec.LossRate,
 	}
@@ -407,24 +515,14 @@ func pathRTT(path []hop) sim.Time {
 	return 2 * oneWay
 }
 
-// newPacket returns a zeroed Packet from the freelist (or the heap).
-func (t *Topology) newPacket() *Packet {
-	if k := len(t.freePkts); k > 0 {
-		p := t.freePkts[k-1]
-		t.freePkts = t.freePkts[:k-1]
-		*p = Packet{}
-		return p
-	}
-	return &Packet{}
-}
+// newPacket returns a zeroed Packet from the root island's freelist —
+// the client-side allocation path (server stacks allocate from their
+// own island via NIC.rt).
+func (t *Topology) newPacket() *Packet { return t.islands[0].newPacket() }
 
-// release drops one pending delivery; the last one frees the packet.
-func (t *Topology) release(p *Packet) {
-	p.refs--
-	if p.refs == 0 {
-		t.freePkts = append(t.freePkts, p)
-	}
-}
+// release drops one pending delivery on the root island; the last one
+// frees the packet.
+func (t *Topology) release(p *Packet) { t.islands[0].release(p) }
 
 // xmit puts one segment on the wire along a path of hops, applying
 // the fault decisions: loss (LossRate, per-link loss, or the fault
@@ -448,9 +546,15 @@ func (t *Topology) xmit(path []hop, pkt *Packet, deliver func(*Packet)) {
 
 // forward sends one copy across hop i and recurses to i+1 on arrival.
 // Fault decisions draw in the legacy order (fabric loss, link loss,
-// plan loss, plan reorder) at every hop.
+// plan loss, plan reorder) at every hop. Hop i runs on the island of
+// its sending host; the delivery closure runs on the receiving host's
+// island (which is hop i+1's sending island), so every freelist and
+// drop-counter touch is island-local. The fabric-global decision
+// streams (LossRate, Faults) only draw on unsharded fabrics —
+// RunSharded rejects them.
 func (t *Topology) forward(path []hop, i int, pkt *Packet, deliver func(*Packet)) {
 	h := path[i]
+	send, recv := h.l.rt[h.dir], h.l.rt[1-h.dir]
 	last := i == len(path)-1
 	lost := t.LossRate > 0 && t.lossRNG.Intn(t.LossRate) == 0
 	if h.l.loss > 0 && h.l.lossRNG.Intn(h.l.loss) == 0 {
@@ -464,22 +568,94 @@ func (t *Topology) forward(path []hop, i int, pkt *Packet, deliver func(*Packet)
 		delay = 2 * sim.WireTime(sim.EthernetMTU+ipTCPHeader)
 	}
 	if h.l.full(h.dir) {
-		t.Drops++
-		t.release(pkt)
+		*send.drops++
+		send.release(pkt)
 		return
 	}
 	h.l.transmit(h.dir, pkt.Payload, func() {
 		switch {
 		case lost:
-			t.release(pkt)
+			recv.release(pkt)
 		case !last:
 			t.forward(path, i+1, pkt, deliver)
 		case delay > 0:
-			t.eng.After(delay, func() { deliver(pkt) })
+			recv.eng.After(delay, func() { deliver(pkt) })
 		default:
 			deliver(pkt)
 		}
 	})
+}
+
+// wireShards creates the cross-island hand-off channels for every link
+// whose endpoints live on different islands, validating the lookahead
+// contract. Idempotent per link, so islands wired once stay wired
+// across repeated sharded runs.
+func (t *Topology) wireShards() error {
+	for _, rt := range t.islands {
+		if rt.isl == nil {
+			rt.isl = sim.NewIsland(rt.id, rt.eng)
+		}
+	}
+	for _, l := range t.links {
+		if l.rt[0] == l.rt[1] || l.xch[0] != nil {
+			continue
+		}
+		if l.latency < 1 {
+			return fmt.Errorf("netsim: zero-latency link between %s and %s crosses islands %d and %d: no lookahead is possible — merge the hosts onto one island or give the link latency",
+				t.hosts[l.a].name, t.hosts[l.b].name, l.rt[0].id, l.rt[1].id)
+		}
+		if l.loss > 0 {
+			return fmt.Errorf("netsim: lossy link between %s and %s crosses islands %d and %d: per-link loss draws are only deterministic island-locally",
+				t.hosts[l.a].name, t.hosts[l.b].name, l.rt[0].id, l.rt[1].id)
+		}
+		l.xch[0] = sim.Connect(l.rt[0].isl, l.rt[1].isl, l.latency)
+		l.xch[1] = sim.Connect(l.rt[1].isl, l.rt[0].isl, l.latency)
+	}
+	return nil
+}
+
+// RunSharded drives a partitioned fabric to global completion — the
+// parallel equivalent of Engine().Run() on every island at once, with
+// one worker goroutine per island (routed through internal/parallel).
+// Cross-island links become timestamped channels whose lookahead is
+// the link latency; execution order is conservatively synchronized, so
+// results are byte-identical to the same fabric run on one engine.
+// The fabric-global nondeterminism channels are rejected up front:
+// loss, duplication and fault plans draw from streams whose order a
+// partitioned run cannot reproduce.
+func (t *Topology) RunSharded() error {
+	if len(t.islands) == 1 {
+		t.eng.Run()
+		return nil
+	}
+	if t.Faults != nil {
+		return fmt.Errorf("netsim: RunSharded: fault plans draw from a fabric-global stream; run single-engine")
+	}
+	if t.LossRate > 0 {
+		return fmt.Errorf("netsim: RunSharded: fabric-wide LossRate draws from a global stream; run single-engine or use per-link loss on intra-island links")
+	}
+	if err := t.wireShards(); err != nil {
+		return err
+	}
+	islands := make([]*sim.Island, len(t.islands))
+	for i, rt := range t.islands {
+		islands[i] = rt.isl
+	}
+	sim.RunIslands(islands, func(n int, run func(i int)) {
+		// One worker per island: islands block on each other's
+		// promises, so multiplexing them onto fewer workers deadlocks.
+		parallel.Map(n, n, func(i int) struct{} {
+			run(i)
+			return struct{}{}
+		})
+	})
+	// Fold the non-root islands' drop counts into the public counter
+	// now that their goroutines have joined.
+	for _, rt := range t.islands[1:] {
+		t.Drops += rt.localDrops
+		rt.localDrops = 0
+	}
+	return nil
 }
 
 // openConn builds a connection from a client host to a server: either
@@ -544,6 +720,10 @@ type Attachment struct {
 	Topology *Topology
 	// Name labels the NIC host (default: the machine's name).
 	Name string
+	// Island selects which partition of a sharded fabric the machine
+	// boots onto (its kernel runs on that island's engine). Zero — the
+	// root island — is the single-engine default.
+	Island IslandID
 
 	// Host is the machine's NIC host, filled by machine.New.
 	Host HostID

@@ -13,7 +13,8 @@ import (
 func TestLinkCustomBandwidthSerializes(t *testing.T) {
 	eng := sim.NewEngine()
 	const bps = 10_000_000 // 10 Mbit
-	l := &link{eng: eng, bps: bps, latency: sim.LinkLatency}
+	rt := &islandRT{eng: eng}
+	l := &link{rt: [2]*islandRT{rt, rt}, bps: bps, latency: sim.LinkLatency}
 	var deliveries []sim.Time
 	l.transmit(0, 1460, func() { deliveries = append(deliveries, eng.Now()) })
 	l.transmit(0, 1460, func() { deliveries = append(deliveries, eng.Now()) })

@@ -34,14 +34,15 @@ func (ev Event) At() Time {
 // not allocate. gen increments on every recycle, invalidating any
 // handles still pointing at the slot.
 type node struct {
-	at    Time
-	seq   uint64
-	fn    func()
-	fnArg func(any) // set (with arg) by AfterArg instead of fn
-	arg   any
-	gen   uint32
-	index int32 // position in the heap, -1 once popped/removed
-	next  *node // free-list link
+	at      Time
+	schedAt Time // clock value when the event was scheduled
+	seq     uint64
+	fn      func()
+	fnArg   func(any) // set (with arg) by AfterArg instead of fn
+	arg     any
+	gen     uint32
+	index   int32 // position in the heap, -1 once popped/removed
+	next    *node // free-list link
 }
 
 // Engine is the discrete-event core: a virtual clock plus a
@@ -97,6 +98,7 @@ func (e *Engine) schedule(t Time) *node {
 		n = &node{}
 	}
 	n.at = t
+	n.schedAt = e.now
 	n.seq = e.seq
 	e.seq++
 	e.push(n)
@@ -175,6 +177,20 @@ func (e *Engine) Step() bool {
 		fn()
 	}
 	return true
+}
+
+// NextEvent peeks at the earliest queued event without firing it,
+// reporting its fire time and the clock value at which it was
+// scheduled. The conservative parallel scheduler (shard.go) uses the
+// pair to merge engine events against cross-island channel arrivals
+// with the same tie-break a single shared engine's (at, seq) order
+// would produce: among same-instant events, the one scheduled earliest
+// fires first.
+func (e *Engine) NextEvent() (at, schedAt Time, ok bool) {
+	if len(e.heap) == 0 {
+		return 0, 0, false
+	}
+	return e.heap[0].at, e.heap[0].schedAt, true
 }
 
 // Run processes events until the queue is empty.

@@ -1,0 +1,416 @@
+package sim
+
+// Conservative parallel discrete-event execution (Chandy–Misra–Bryant
+// with null-message promises). A simulation is partitioned into
+// Islands — each an Engine driven by its own goroutine — joined by
+// directed Channels that carry timestamped callbacks plus lookahead
+// promises. A channel with lookahead L guarantees that a message
+// handed over while the sender's clock reads S fires no earlier than
+// S+L+1 on the receiver, so the receiver may safely execute everything
+// up to (promised sender clock)+L without waiting, and an idle island
+// still advances past a quiet neighbor on promises alone.
+//
+// The merge is deterministic: each island orders its engine's next
+// event against the inbound channel heads by (fire time, scheduling
+// time, origin island, channel index) — the same order a single shared
+// engine's (time, seq) heap produces whenever the scheduling instants
+// differ, with the island id as the tie-break of last resort. Island
+// state is only ever touched by its own goroutine; the channels are
+// the only synchronization points.
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// maxTime is the saturation bound for promise arithmetic.
+const maxTime = ^Time(0)
+
+// satAdd adds two times, saturating instead of wrapping.
+func satAdd(a, b Time) Time {
+	if s := a + b; s >= a {
+		return s
+	}
+	return maxTime
+}
+
+// msg is one cross-island event hand-off: a callback to run on the
+// receiving island at virtual time at. sent is the sender's clock at
+// the hand-over — the scheduling instant, used for the deterministic
+// tie-break among same-instant events exactly as a shared engine's
+// sequence numbers would order them.
+type msg struct {
+	at   Time
+	sent Time
+	fn   func()
+}
+
+// Channel is a directed, timestamped event conduit between two
+// islands. Messages must carry strictly increasing timestamps, each
+// beyond the sender's clock plus the channel's lookahead — the
+// conservative contract every promise is derived from. Queue storage
+// is a reusable ring, so steady-state hand-off allocates nothing.
+type Channel struct {
+	from      *Island
+	to        *Island
+	lookahead Time
+
+	// Sender-side state; only the sending island's goroutine touches
+	// it. sentPromise mirrors the last published promise so redundant
+	// publications skip the receiver's lock entirely, and pubQuantum is
+	// the minimum clock advance between promise raises while busy.
+	sentPromise Time
+	pubQuantum  Time
+
+	// Receiver-side state, guarded by to.mu.
+	promise Time  // proven lower bound on the sender's clock
+	q       []msg // ring: q[head], q[head+1], ... (mod len), count live
+	head    int
+	count   int
+	idx     int // position in to.in — the tie-break of last resort
+}
+
+// Island is one partition of a conservatively parallel simulation: an
+// engine plus its inbound and outbound channels. Exactly one goroutine
+// (the one RunIslands spawns for it) executes its events.
+type Island struct {
+	id  int
+	eng *Engine
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	waiting bool
+	version uint64 // bumped on every inbound push or promise raise
+	in      []*Channel
+	out     []*Channel
+
+	st *shardState
+}
+
+// NewIsland wraps an engine as one island. The id must be unique
+// within the set later passed to RunIslands; it doubles as the
+// deterministic tie-break among islands.
+func NewIsland(id int, eng *Engine) *Island {
+	isl := &Island{id: id, eng: eng}
+	isl.cond = sync.NewCond(&isl.mu)
+	return isl
+}
+
+// ID returns the island's tie-break identity.
+func (isl *Island) ID() int { return isl.id }
+
+// Engine returns the island's engine.
+func (isl *Island) Engine() *Engine { return isl.eng }
+
+// Connect builds a directed channel with the given lookahead. A zero
+// lookahead is rejected: it would let the receiver advance nowhere
+// past the sender's clock, deadlocking both (the caller must merge
+// such partitions instead).
+func Connect(from, to *Island, lookahead Time) *Channel {
+	if lookahead == 0 {
+		panic("sim: cross-island channel needs lookahead >= 1")
+	}
+	c := &Channel{from: from, to: to, lookahead: lookahead, idx: len(to.in)}
+	c.pubQuantum = lookahead
+	if c.pubQuantum == 0 {
+		c.pubQuantum = 1
+	}
+	from.out = append(from.out, c)
+	to.in = append(to.in, c)
+	return c
+}
+
+// Send hands fn to the receiving island to fire at virtual time at.
+// It must be called from the sending island's goroutine, with at
+// strictly beyond the sender's clock plus the lookahead, and strictly
+// beyond every earlier Send on the same channel. The hand-off is
+// synchronous — the message is in the receiver's queue before Send
+// returns — which is what makes idle-detection exact.
+func (c *Channel) Send(at Time, fn func()) {
+	now := c.from.eng.Now()
+	if at <= satAdd(now, c.lookahead) {
+		panic("sim: Channel.Send violates the lookahead contract")
+	}
+	to := c.to
+	to.mu.Lock()
+	if c.count > 0 {
+		if last := c.q[(c.head+c.count-1)%len(c.q)]; at <= last.at {
+			to.mu.Unlock()
+			panic("sim: Channel.Send timestamps must strictly increase")
+		}
+	}
+	c.push(msg{at: at, sent: now, fn: fn})
+	if c.promise < now {
+		c.promise = now
+	}
+	to.version++
+	if st := c.from.st; st != nil {
+		st.sent.Add(1)
+	}
+	if to.waiting {
+		to.cond.Signal()
+	}
+	to.mu.Unlock()
+	if now > c.sentPromise {
+		c.sentPromise = now
+	}
+}
+
+// push appends to the ring, growing it when full. Caller holds to.mu.
+func (c *Channel) push(m msg) {
+	if c.count == len(c.q) {
+		grown := make([]msg, max(8, 2*len(c.q)))
+		for i := 0; i < c.count; i++ {
+			grown[i] = c.q[(c.head+i)%len(c.q)]
+		}
+		c.q, c.head = grown, 0
+	}
+	c.q[(c.head+c.count)%len(c.q)] = m
+	c.count++
+}
+
+// pop removes the head message. Caller holds to.mu.
+func (c *Channel) pop() msg {
+	m := c.q[c.head]
+	c.q[c.head].fn = nil
+	c.head = (c.head + 1) % len(c.q)
+	c.count--
+	return m
+}
+
+// shardState is the run-wide termination tracker. An island that is
+// purely idle — empty engine, empty inbound queues — counts itself;
+// when every island is idle at once and every message ever sent has
+// been executed, the run is globally drained and everyone exits.
+// (Message counting closes the race where a sender finishes its last
+// event — whose Send already woke a receiver that had counted itself
+// idle — before that receiver un-counts.)
+type shardState struct {
+	mu        sync.Mutex
+	idle      int
+	n         int
+	done      atomic.Bool
+	sent      atomic.Int64
+	processed atomic.Int64
+	islands   []*Island
+}
+
+func (st *shardState) wakeAll() {
+	for _, isl := range st.islands {
+		isl.mu.Lock()
+		isl.cond.Broadcast()
+		isl.mu.Unlock()
+	}
+}
+
+// cand is one merge candidate: the engine's next event or an inbound
+// channel head, keyed for the deterministic global order.
+type cand struct {
+	ch   *Channel // nil = the engine's own next event
+	at   Time
+	sent Time // scheduling instant (engine schedAt / channel msg.sent)
+	from int  // origin island
+	idx  int  // origin channel position (-1 for engine events)
+}
+
+// beats reports whether a orders before b under the global order:
+// fire time, then scheduling instant, then origin island, then
+// channel index.
+func (a cand) beats(b cand) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.sent != b.sent {
+		return a.sent < b.sent
+	}
+	if a.from != b.from {
+		return a.from < b.from
+	}
+	return a.idx < b.idx
+}
+
+// pickLocked merges the engine head with the inbound channel heads and
+// computes the safe execution bound: the least promise+lookahead over
+// the EMPTY inbound channels (a nonempty channel's head already bounds
+// everything that can still arrive on it, since timestamps strictly
+// increase per channel). chMin is the earliest queued channel head —
+// engine events strictly before it need no merge at all. Caller holds
+// isl.mu; engine access needs no lock (only this island's goroutine
+// touches it).
+func (isl *Island) pickLocked() (best cand, ok bool, safe, chMin Time) {
+	safe, chMin = maxTime, maxTime
+	if at, schedAt, has := isl.eng.NextEvent(); has {
+		best, ok = cand{at: at, sent: schedAt, from: isl.id, idx: -1}, true
+	}
+	for _, c := range isl.in {
+		if c.count == 0 {
+			if s := satAdd(c.promise, c.lookahead); s < safe {
+				safe = s
+			}
+			continue
+		}
+		m := c.q[c.head]
+		if m.at < chMin {
+			chMin = m.at
+		}
+		mc := cand{ch: c, at: m.at, sent: m.sent, from: c.from.id, idx: c.idx}
+		if !ok || mc.beats(best) {
+			best, ok = mc, true
+		}
+	}
+	return best, ok, safe, chMin
+}
+
+// queuedLocked counts inbound messages not yet executed. Caller holds
+// isl.mu.
+func (isl *Island) queuedLocked() int {
+	n := 0
+	for _, c := range isl.in {
+		n += c.count
+	}
+	return n
+}
+
+// publish raises the promise on every outbound channel whose last
+// published bound lags value. While busy (force=false) a channel is
+// only touched once the clock has advanced a quantum past its last
+// publication, bounding lock traffic to a fraction of the lookahead;
+// at a blocking point (force=true) every lagging channel is raised so
+// neighbors can make maximal progress.
+func (isl *Island) publish(value Time, force bool) {
+	for _, c := range isl.out {
+		if value <= c.sentPromise {
+			continue
+		}
+		if !force && value < satAdd(c.sentPromise, c.pubQuantum) {
+			continue
+		}
+		to := c.to
+		to.mu.Lock()
+		if c.promise < value {
+			c.promise = value
+			to.version++
+			if to.waiting {
+				to.cond.Signal()
+			}
+		}
+		to.mu.Unlock()
+		c.sentPromise = value
+	}
+}
+
+// runLoop is one island's executor: merge, execute while safe, else
+// promise and wait. Lock order is strict — isl.mu is never held while
+// taking another island's mu or st.mu (promises are published after
+// snapshotting the decision under the version counter, and the
+// snapshot is revalidated before sleeping).
+func (isl *Island) runLoop() {
+	st := isl.st
+	for {
+		isl.mu.Lock()
+		best, ok, safe, chMin := isl.pickLocked()
+		if ok && best.at <= safe {
+			if best.ch == nil {
+				isl.mu.Unlock()
+				// Lock-free batch: every engine event strictly before the
+				// earliest queued channel head and within the safe bound
+				// wins the merge outright, so run them all without
+				// re-taking the lock. The snapshot stays valid mid-batch:
+				// per-channel timestamps strictly increase (queued heads
+				// cannot drop below chMin) and any fresh arrival lands
+				// strictly beyond safe. Events AT chMin or past safe fall
+				// back to the locked merge for the deterministic
+				// tie-break.
+				for {
+					isl.eng.Step()
+					isl.publish(isl.eng.Now(), false)
+					at, _, has := isl.eng.NextEvent()
+					if !has || at > safe || at >= chMin {
+						break
+					}
+				}
+			} else {
+				m := best.ch.pop()
+				isl.mu.Unlock()
+				if now := isl.eng.Now(); m.at > now {
+					isl.eng.Advance(m.at - now)
+				}
+				st.processed.Add(1)
+				m.fn()
+				isl.publish(isl.eng.Now(), false)
+			}
+			continue
+		}
+		// Nothing executable. lbts is the clock value we are guaranteed
+		// to reach before sending anything else: every candidate is past
+		// safe, and any future arrival is past safe too (promise +
+		// lookahead is inclusive; real messages land strictly beyond it).
+		v := isl.version
+		pureIdle := !ok && isl.queuedLocked() == 0
+		lbts := isl.eng.Now()
+		if limit := satAdd(safe, 1); limit > lbts {
+			lbts = limit
+		}
+		isl.mu.Unlock()
+		isl.publish(lbts, true)
+		if pureIdle {
+			st.mu.Lock()
+			st.idle++
+			if st.idle == st.n && st.sent.Load() == st.processed.Load() {
+				st.done.Store(true)
+				st.mu.Unlock()
+				st.wakeAll()
+				return
+			}
+			st.mu.Unlock()
+		}
+		isl.mu.Lock()
+		if isl.version == v && !st.done.Load() {
+			isl.waiting = true
+			isl.cond.Wait()
+			isl.waiting = false
+		}
+		isl.mu.Unlock()
+		if pureIdle {
+			st.mu.Lock()
+			st.idle--
+			st.mu.Unlock()
+		}
+		if st.done.Load() {
+			return
+		}
+	}
+}
+
+// RunIslands drives the islands to global completion: every engine
+// drained, every channel empty. spawn must run its argument for each
+// i in 0..n-1 on concurrent goroutines and return once all have
+// finished — each island needs its own goroutine (multiplexing
+// blocking islands onto fewer workers deadlocks), so callers pass a
+// one-worker-per-island fan-out (internal/netsim routes this through
+// internal/parallel). Channels persist across calls; promises are
+// (re)seeded from the senders' current clocks, so a fabric that
+// settles, loads and runs again never replays the null-message climb
+// from time zero.
+func RunIslands(islands []*Island, spawn func(n int, run func(i int))) {
+	st := &shardState{n: len(islands), islands: islands}
+	for _, isl := range islands {
+		isl.st = st
+		now := isl.eng.Now()
+		for _, c := range isl.out {
+			c.to.mu.Lock()
+			if c.promise < now {
+				c.promise = now
+			}
+			c.to.mu.Unlock()
+			if c.sentPromise < now {
+				c.sentPromise = now
+			}
+		}
+	}
+	spawn(len(islands), func(i int) { islands[i].runLoop() })
+	for _, isl := range islands {
+		isl.st = nil
+		isl.eng.flushMeter()
+	}
+}

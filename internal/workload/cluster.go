@@ -41,8 +41,15 @@ type ClusterConfig struct {
 	// Trace, when non-nil, additionally receives every machine's
 	// spans plus the request-latency series. It must not be shared
 	// with a concurrently running cell (core.Bench passes a fresh
-	// tracer per leg and merges in order).
+	// tracer per leg and merges in order). Incompatible with Shard:
+	// one tracer cannot deterministically interleave recordings from
+	// concurrent islands.
 	Trace *trace.Tracer
+	// Shard > 0 partitions the fabric into min(Shard, Servers) server
+	// islands plus the client/balancer island and runs them on
+	// concurrent workers (conservative parallel simulation over the
+	// link latencies). Results are byte-identical to Shard == 0.
+	Shard int
 }
 
 func (cfg ClusterConfig) withDefaults() ClusterConfig {
@@ -184,14 +191,31 @@ func clusterHandler(fs *cffs.FS, classes []netsim.RequestClass) netsim.Handler {
 	}
 }
 
+// clusterEpoch is the virtual instant load starts. Every island's
+// clock — there is exactly one island unless cfg.Shard > 0 — is run
+// to quiescence and then advanced to this fixed epoch between staging
+// and the open-loop arrivals. Sharded islands stage on separate
+// clocks that drift from the globally-interleaved single-engine
+// order; pinning both paths to one epoch makes every load-phase
+// timestamp (and so every digest) byte-identical across shard counts.
+const clusterEpoch = 1000 * sim.Millisecond
+
 // Cluster runs one cell: builds the fabric (clients — balancer — N
 // server machines), boots and stages every server, then drives the
-// open-loop arrivals to completion. Deterministic end to end: one
-// engine orders everything, arrivals and the class mix come from the
-// seeded stream, and the balancer's choices are policy-deterministic.
+// open-loop arrivals to completion. Deterministic end to end:
+// conservative synchronization orders everything (trivially so on a
+// single engine), arrivals and the class mix come from the seeded
+// stream, and the balancer's choices are policy-deterministic.
 func Cluster(cfg ClusterConfig) (ClusterResult, error) {
 	cfg = cfg.withDefaults()
 	classes := ClusterClasses()
+	if cfg.Shard > 0 && cfg.Trace != nil {
+		return ClusterResult{}, fmt.Errorf("cluster: full tracing and sharding are incompatible (one tracer cannot deterministically interleave concurrent islands); run Shard=0 for traced cells")
+	}
+	shards := 0
+	if cfg.Shard > 0 {
+		shards = min(cfg.Shard, cfg.Servers)
+	}
 
 	topo := netsim.NewTopology()
 	clients := topo.AddHost("clients")
@@ -216,8 +240,19 @@ func Cluster(cfg ClusterConfig) (ClusterResult, error) {
 		}
 	}()
 	profile := clusterProfile(cfg.Personality)
+	// Partition: clients and the balancer stay on the root island (the
+	// open-loop pool's clock lives there); servers round-robin over the
+	// shard islands, each bounded from its neighbors by the LB link's
+	// latency (the lookahead).
+	islands := make([]netsim.IslandID, shards)
+	for i := range islands {
+		islands[i] = topo.AddIsland()
+	}
 	for i := 0; i < cfg.Servers; i++ {
 		att := &netsim.Attachment{Topology: topo, Name: fmt.Sprintf("srv%d", i)}
+		if shards > 0 {
+			att.Island = islands[i%shards]
+		}
 		m, err := machine.New(machine.Config{
 			Personality: cfg.Personality,
 			// Small machines: the cluster stresses the network path,
@@ -242,8 +277,17 @@ func Cluster(cfg ClusterConfig) (ClusterResult, error) {
 			nic.Serve(e, profile, handler, 0) // serve forever
 		})
 	}
-	// Settle every server into its listen state before load arrives.
-	topo.Engine().Run()
+	// Settle every server into its listen state, then advance every
+	// island's clock to the shared epoch so load-phase timestamps are
+	// identical at every shard count (see clusterEpoch).
+	for i := 0; i < topo.Islands(); i++ {
+		eng := topo.IslandEngine(netsim.IslandID(i))
+		eng.Run()
+		if eng.Now() > clusterEpoch {
+			return ClusterResult{}, fmt.Errorf("cluster: island %d staging ran to %v, past the load epoch %v", i, eng.Now(), clusterEpoch)
+		}
+		eng.RunUntil(clusterEpoch)
+	}
 
 	pool := topo.OpenLoop(netsim.OpenLoopConfig{
 		From: clients, Target: lb,
@@ -252,7 +296,9 @@ func Cluster(cfg ClusterConfig) (ClusterResult, error) {
 		Classes: classes,
 		Trace:   latTr, TracePID: pid,
 	})
-	topo.Engine().Run()
+	if err := topo.RunSharded(); err != nil {
+		return ClusterResult{}, fmt.Errorf("cluster: %w", err)
+	}
 
 	res := ClusterResult{
 		Servers: cfg.Servers, Policy: cfg.Policy,

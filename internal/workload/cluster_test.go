@@ -47,6 +47,50 @@ func TestClusterParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// renderClusterShard runs the sweep single-threaded with the given
+// shard count (0 = single-engine) and returns the rendered report and
+// combined digest. No trace sink: full tracing and sharding are
+// mutually exclusive, and the latency digest is what the byte-identity
+// bar is measured on.
+func renderClusterShard(t *testing.T, shard int) (string, uint64) {
+	t.Helper()
+	bench := core.Bench{BenchOpts: core.BenchOpts{Shard: shard}}
+	rs, err := bench.Cluster(testCells())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	workload.WriteClusterReport(&buf, rs)
+	return buf.String(), workload.ClusterDigest(rs)
+}
+
+// TestClusterShardMatchesSingleEngine: the sharded cluster renders
+// byte-identically — report text and latency digests — to the
+// single-engine run at every shard count, including shard counts past
+// the server count (which clamp).
+func TestClusterShardMatchesSingleEngine(t *testing.T) {
+	singleOut, singleDigest := renderClusterShard(t, 0)
+	for _, n := range []int{1, 2, 4, 8} {
+		out, digest := renderClusterShard(t, n)
+		if out != singleOut {
+			t.Errorf("-shard %d report differs from single-engine:\n--- single ---\n%s--- shard %d ---\n%s",
+				n, singleOut, n, out)
+		}
+		if digest != singleDigest {
+			t.Errorf("-shard %d digest %#x != single-engine %#x", n, digest, singleDigest)
+		}
+	}
+}
+
+// TestClusterShardRejectsTracing: a traced cell cannot shard — one
+// tracer cannot deterministically interleave concurrent islands.
+func TestClusterShardRejectsTracing(t *testing.T) {
+	bench := core.Bench{BenchOpts: core.BenchOpts{Trace: trace.New(), Shard: 2}}
+	if _, err := bench.Cluster(testCells()); err == nil {
+		t.Fatal("sharded cluster with a full tracer did not error")
+	}
+}
+
 // TestClusterThroughputScales: at a fixed offered load past one
 // server's capacity, 4 servers must deliver at least 2.5x the
 // single-server throughput, and every connection must complete.

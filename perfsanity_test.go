@@ -6,7 +6,9 @@ import (
 	"testing"
 	"time"
 
+	"xok/internal/core"
 	"xok/internal/difftest"
+	"xok/internal/workload"
 )
 
 // TestPerfSanityParallelNotSlower is the `make perf-sanity` gate: the
@@ -53,4 +55,46 @@ func TestPerfSanityParallelNotSlower(t *testing.T) {
 	}
 	t.Logf("serial %v, parallel-4 %v, speedup %.2fx (GOMAXPROCS=%d)",
 		serial, parallel, float64(serial)/float64(parallel), runtime.GOMAXPROCS(0))
+}
+
+// TestPerfSanityShardFasterThanSingle is the sharded-cluster leg of
+// `make perf-sanity`, mirroring the difftest gate above: the 4-server
+// cluster cell split across per-server islands must not run
+// meaningfully slower than the identical cell on one engine, and on a
+// host with CPUs to spare it must actually win by 1.5x. On a
+// single-CPU host only the one-sided overhead bound applies — the
+// conservative synchronization (locking, promises, wakeups) is pure
+// cost there, and this gate caps it.
+func TestPerfSanityShardFasterThanSingle(t *testing.T) {
+	if os.Getenv("XOK_PERF_SANITY") == "" {
+		t.Skip("wall-clock gate; run via `make perf-sanity` (XOK_PERF_SANITY=1)")
+	}
+	cell := workload.ClusterConfig{Servers: 4, Conns: 1500, Rate: 12000}
+	run := func(shard int) time.Duration {
+		start := time.Now()
+		bench := core.Bench{BenchOpts: core.BenchOpts{Shard: shard}}
+		rs, err := bench.Cluster([]workload.ClusterConfig{cell})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rs[0].Completed != rs[0].Conns {
+			t.Fatalf("shard=%d: %d/%d connections completed", shard, rs[0].Completed, rs[0].Conns)
+		}
+		return time.Since(start)
+	}
+	run(0) // warm the process-wide pools
+	single := min(run(0), run(0))
+	sharded := min(run(4), run(4))
+
+	speedup := float64(single) / float64(sharded)
+	if limit := single + single/2; sharded > limit {
+		t.Fatalf("shard-4 took %v vs single-engine %v on GOMAXPROCS=%d: beyond the 1.5x tolerance (%v)",
+			sharded, single, runtime.GOMAXPROCS(0), limit)
+	}
+	if runtime.NumCPU() >= 4 && speedup < 1.5 {
+		t.Fatalf("shard-4 speedup %.2fx on %d CPUs, want >= 1.5x (single %v, sharded %v)",
+			speedup, runtime.NumCPU(), single, sharded)
+	}
+	t.Logf("single-engine %v, shard-4 %v, speedup %.2fx (GOMAXPROCS=%d, NumCPU=%d)",
+		single, sharded, speedup, runtime.GOMAXPROCS(0), runtime.NumCPU())
 }
