@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race crash fuzz-smoke race-parallel perf-sanity cluster-smoke shard-smoke snapshot-smoke check bench
+.PHONY: all build fmt vet test race crash fuzz-smoke race-parallel perf-sanity cluster-smoke shard-smoke snapshot-smoke wheel-smoke check bench
 
 all: check
 
@@ -76,14 +76,26 @@ shard-smoke:
 snapshot-smoke:
 	$(GO) test -race -count=1 -run 'TestSnapshot' ./internal/workload/ ./internal/difftest/
 
+# Wheel smoke: the cluster at 100k connections under the race
+# detector, digest-pinned — one 4-server cell runs with the timer
+# wheel and again on the pure heap, single-engine and sharded, and
+# within each topology the latency digests and engine event counts
+# must match exactly (the wheel is an implementation detail; only
+# host time may move). The XOK_WHEEL_SMOKE guard keeps the
+# multi-minute raced run out of ordinary `go test ./...`.
+wheel-smoke:
+	XOK_WHEEL_SMOKE=1 $(GO) test -race -count=1 -run TestClusterConns100kWheelDigest -v ./internal/workload/
+
 # The full pre-commit gate: everything compiles, the tree is gofmt
 # clean, vet is clean, the whole suite passes under the race detector
 # (the token-handoff protocol in internal/sim is exactly the kind of
 # code -race exists for), the parallel harness is race-clean, the
 # crash-enumeration sweep re-runs, the differential fuzz smoke
 # campaign comes back clean, snapshot forking reproduces boot runs
-# bit-exactly, and the parallel harness is not slower than serial.
-check: build fmt vet race race-parallel crash fuzz-smoke cluster-smoke shard-smoke snapshot-smoke perf-sanity
+# bit-exactly, the 100k-connection cluster digests identically with
+# the timer wheel on and off, and the parallel harness is not slower
+# than serial.
+check: build fmt vet race race-parallel crash fuzz-smoke cluster-smoke shard-smoke snapshot-smoke wheel-smoke perf-sanity
 
 # Wall-clock benchmark baseline, committed as BENCH_sim.json so engine
 # or harness regressions show up as a diff. Two tiers: the engine
@@ -97,12 +109,16 @@ check: build fmt vet race race-parallel crash fuzz-smoke cluster-smoke shard-smo
 # quietly shrinking the committed baseline.
 BENCH_EXPECT = BenchmarkEngineStepAfter16,BenchmarkEngineStepAfter1024,\
 BenchmarkEngineStepAfterArg16,BenchmarkEngineStepAfterArg1024,\
-BenchmarkEngineScheduleCancel,BenchmarkMAB/Xok-ExOS,BenchmarkMAB/FreeBSD,\
+BenchmarkEngineScheduleCancel,BenchmarkEngineScheduleCancelWheel,\
+BenchmarkEngineTimersHeap65536,BenchmarkEngineTimersWheel65536,\
+BenchmarkEngineTimersHeap1M,BenchmarkEngineTimersWheel1M,\
+BenchmarkMAB/Xok-ExOS,BenchmarkMAB/FreeBSD,\
 BenchmarkDifftest100Serial,BenchmarkDifftest100Parallel4,\
 BenchmarkDifftest100SnapshotSerial,BenchmarkDifftest100SnapshotParallel4,\
 BenchmarkCrashSweepSerial,BenchmarkCrashSweepParallel4,\
 BenchmarkCrashSweepSnapshotSerial,BenchmarkCrashSweepSnapshotParallel4,\
-BenchmarkClusterSerial,BenchmarkClusterParallel4,BenchmarkClusterShard4
+BenchmarkClusterSerial,BenchmarkClusterParallel4,BenchmarkClusterShard4,\
+BenchmarkClusterConns100k,BenchmarkClusterConns100kNoWheel
 
 bench:
 	@{ $(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem ./internal/sim/ && \

@@ -53,6 +53,11 @@ type Speedup struct {
 	// must not be read as scaling evidence; see shard_speedups for the
 	// within-run comparison.
 	IntraRun *bool `json:"intra_run,omitempty"`
+	// Regression marks a speedup below 1.0 — the "fast" side lost. On a
+	// multi-core host `make perf-sanity` refuses to accept these rows;
+	// on a single-CPU host parallel rows hovering just under 1.0 are
+	// measurement noise (see perfsanity_test.go).
+	Regression bool `json:"regression,omitempty"`
 }
 
 // ShardSpeedup is one derived single-engine-vs-sharded comparison: a
@@ -69,6 +74,8 @@ type ShardSpeedup struct {
 	// SerialNsOp/ShardNsOp restate the inputs for review diffs.
 	SerialNsOp float64 `json:"serial_ns_op"`
 	ShardNsOp  float64 `json:"shard_ns_op"`
+	// Regression marks a speedup below 1.0 (see Speedup.Regression).
+	Regression bool `json:"regression,omitempty"`
 }
 
 // SnapshotSpeedup is one derived boot-vs-fork comparison: a benchmark
@@ -83,6 +90,28 @@ type SnapshotSpeedup struct {
 	// BootNsOp/ForkNsOp restate the inputs for review diffs.
 	BootNsOp float64 `json:"boot_ns_op"`
 	ForkNsOp float64 `json:"fork_ns_op"`
+	// Regression marks a speedup below 1.0 (see Speedup.Regression).
+	Regression bool `json:"regression,omitempty"`
+}
+
+// WheelSpeedup is one derived heap-vs-timer-wheel comparison, from a
+// benchmark pair named <Base>Heap<Case> / <Base>Wheel<Case> (the
+// engine's far-timer microbenchmarks) or <Base>NoWheel / <Base> (a
+// whole campaign with the wheel backend off vs on). Speedup > 1 means
+// the wheel wins; these runs are single-threaded and deterministic, so
+// a regression here is real on any host.
+type WheelSpeedup struct {
+	Base string `json:"base"`
+	// Case is the pending-count suffix of the microbenchmark pair
+	// ("65536", "1M"), empty for whole-campaign NoWheel pairs.
+	Case string `json:"case,omitempty"`
+	// Speedup is heap ns/op over wheel ns/op (>1 = wheel wins).
+	Speedup float64 `json:"speedup"`
+	// HeapNsOp/WheelNsOp restate the inputs for review diffs.
+	HeapNsOp  float64 `json:"heap_ns_op"`
+	WheelNsOp float64 `json:"wheel_ns_op"`
+	// Regression marks a speedup below 1.0 (see Speedup.Regression).
+	Regression bool `json:"regression,omitempty"`
 }
 
 // Report is the whole document.
@@ -101,6 +130,10 @@ type Report struct {
 	// ShardSpeedups is derived from <Base>Serial / <Base>Shard<k>
 	// benchmark pairs, in the serial side's input order.
 	ShardSpeedups []ShardSpeedup `json:"shard_speedups,omitempty"`
+	// WheelSpeedups is derived from <Base>Heap<Case> / <Base>Wheel<Case>
+	// and <Base>NoWheel / <Base> benchmark pairs, in the heap (resp.
+	// NoWheel) side's input order.
+	WheelSpeedups []WheelSpeedup `json:"wheel_speedups,omitempty"`
 }
 
 func main() {
@@ -139,6 +172,7 @@ func main() {
 	rep.ParallelSpeedups = deriveSpeedups(rep.Benchmarks)
 	rep.SnapshotSpeedups = deriveSnapshotSpeedups(rep.Benchmarks)
 	rep.ShardSpeedups = deriveShardSpeedups(rep.Benchmarks)
+	rep.WheelSpeedups = deriveWheelSpeedups(rep.Benchmarks)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
@@ -228,6 +262,7 @@ func deriveSpeedups(benches []Benchmark) []Speedup {
 				f := false
 				sp.IntraRun = &f
 			}
+			sp.Regression = sp.Speedup < 1.0
 			out = append(out, sp)
 		}
 	}
@@ -267,7 +302,56 @@ func deriveShardSpeedups(benches []Benchmark) []ShardSpeedup {
 				Speedup:    sNs / pNs,
 				SerialNsOp: sNs,
 				ShardNsOp:  pNs,
+				Regression: sNs/pNs < 1.0,
 			})
+		}
+	}
+	return out
+}
+
+// deriveWheelSpeedups pairs the heap baseline with the timer-wheel
+// side: <Base>Heap<Case> with <Base>Wheel<Case> (engine far-timer
+// microbenchmarks at a fixed pending count) and <Base>NoWheel with
+// <Base> (whole campaigns with the wheel backend off vs on).
+func deriveWheelSpeedups(benches []Benchmark) []WheelSpeedup {
+	byName := make(map[string]Benchmark, len(benches))
+	for _, b := range benches {
+		byName[b.Name] = b
+	}
+	row := func(base, c string, heap, wheel Benchmark) (WheelSpeedup, bool) {
+		hNs, wNs := heap.Metrics["ns/op"], wheel.Metrics["ns/op"]
+		if hNs == 0 || wNs == 0 {
+			return WheelSpeedup{}, false
+		}
+		return WheelSpeedup{
+			Base: base, Case: c,
+			Speedup:    hNs / wNs,
+			HeapNsOp:   hNs,
+			WheelNsOp:  wNs,
+			Regression: hNs/wNs < 1.0,
+		}, true
+	}
+	var out []WheelSpeedup
+	for _, h := range benches {
+		if base, ok := strings.CutSuffix(h.Name, "NoWheel"); ok {
+			if wheel, found := byName[base]; found {
+				if sp, valid := row(base, "", h, wheel); valid {
+					out = append(out, sp)
+				}
+			}
+			continue
+		}
+		i := strings.Index(h.Name, "Heap")
+		if i < 0 {
+			continue
+		}
+		base, c := h.Name[:i], h.Name[i+len("Heap"):]
+		wheel, found := byName[base+"Wheel"+c]
+		if !found {
+			continue
+		}
+		if sp, valid := row(base, c, h, wheel); valid {
+			out = append(out, sp)
 		}
 	}
 	return out
@@ -311,11 +395,12 @@ func deriveSnapshotSpeedups(benches []Benchmark) []SnapshotSpeedup {
 			continue
 		}
 		out = append(out, SnapshotSpeedup{
-			Base:     base,
-			Mode:     mode,
-			Speedup:  bNs / fNs,
-			BootNsOp: bNs,
-			ForkNsOp: fNs,
+			Base:       base,
+			Mode:       mode,
+			Speedup:    bNs / fNs,
+			BootNsOp:   bNs,
+			ForkNsOp:   fNs,
+			Regression: bNs/fNs < 1.0,
 		})
 	}
 	return out

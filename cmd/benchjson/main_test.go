@@ -140,6 +140,60 @@ func TestDeriveSnapshotSpeedups(t *testing.T) {
 	}
 }
 
+func TestDeriveWheelSpeedups(t *testing.T) {
+	benches := []Benchmark{
+		{Name: "BenchmarkEngineTimersHeap65536", Metrics: map[string]float64{"ns/op": 172.7}},
+		{Name: "BenchmarkEngineTimersWheel65536", Metrics: map[string]float64{"ns/op": 85.8}},
+		{Name: "BenchmarkEngineTimersHeap1M", Metrics: map[string]float64{"ns/op": 232.9}},
+		{Name: "BenchmarkEngineTimersWheel1M", Metrics: map[string]float64{"ns/op": 130.7}},
+		{Name: "BenchmarkClusterConns100k", Metrics: map[string]float64{"ns/op": 2.0e9}},
+		{Name: "BenchmarkClusterConns100kNoWheel", Metrics: map[string]float64{"ns/op": 2.8e9}},
+		{Name: "BenchmarkUnpairedHeap8", Metrics: map[string]float64{"ns/op": 5}},
+		{Name: "BenchmarkOrphanNoWheel", Metrics: map[string]float64{"ns/op": 5}},
+	}
+	got := deriveWheelSpeedups(benches)
+	if len(got) != 3 {
+		t.Fatalf("derived %d wheel speedups, want 3: %+v", len(got), got)
+	}
+	if got[0].Base != "BenchmarkEngineTimers" || got[0].Case != "65536" || got[0].Speedup < 2.0 {
+		t.Fatalf("65536 pairing wrong: %+v", got[0])
+	}
+	if got[1].Case != "1M" || got[1].Speedup < 1.7 {
+		t.Fatalf("1M pairing wrong: %+v", got[1])
+	}
+	if got[2].Base != "BenchmarkClusterConns100k" || got[2].Case != "" || got[2].Speedup < 1.3 {
+		t.Fatalf("NoWheel pairing wrong: %+v", got[2])
+	}
+	for _, s := range got {
+		if s.Regression {
+			t.Fatalf("wheel-wins row flagged as regression: %+v", s)
+		}
+	}
+}
+
+func TestDeriveSpeedupsRegressionFlag(t *testing.T) {
+	benches := []Benchmark{
+		{Name: "BenchmarkSlowSerial", Metrics: map[string]float64{"ns/op": 100}},
+		{Name: "BenchmarkSlowParallel4", Metrics: map[string]float64{"ns/op": 110}},
+		{Name: "BenchmarkSlowShard4", Metrics: map[string]float64{"ns/op": 120}},
+		{Name: "BenchmarkSlowSnapshotSerial", Metrics: map[string]float64{"ns/op": 130}},
+		{Name: "BenchmarkEngineTimersHeap1M", Metrics: map[string]float64{"ns/op": 90}},
+		{Name: "BenchmarkEngineTimersWheel1M", Metrics: map[string]float64{"ns/op": 100}},
+	}
+	if got := deriveSpeedups(benches); len(got) != 1 || !got[0].Regression {
+		t.Fatalf("parallel slowdown not flagged: %+v", got)
+	}
+	if got := deriveShardSpeedups(benches); len(got) != 1 || !got[0].Regression {
+		t.Fatalf("shard slowdown not flagged: %+v", got)
+	}
+	if got := deriveSnapshotSpeedups(benches); len(got) != 1 || !got[0].Regression {
+		t.Fatalf("snapshot slowdown not flagged: %+v", got)
+	}
+	if got := deriveWheelSpeedups(benches); len(got) != 1 || !got[0].Regression {
+		t.Fatalf("wheel slowdown not flagged: %+v", got)
+	}
+}
+
 func TestDeriveSpeedupsNoBenchmem(t *testing.T) {
 	benches := []Benchmark{
 		{Name: "BenchmarkXSerial", Metrics: map[string]float64{"ns/op": 10}},

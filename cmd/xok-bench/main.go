@@ -79,6 +79,7 @@ var (
 	connsFlag    = flag.Int("conns", 2000, "cluster: open-loop connection arrivals per cell")
 	rateFlag     = flag.Float64("rate", 0, "cluster: offered arrivals per virtual second (0 = default)")
 	shardFlag    = flag.Int("shard", 0, "cluster: shard each cell's fabric across this many concurrent islands (0 = single-engine); stdout is byte-identical at any setting, incompatible with -trace/-hist")
+	nowheelFlag  = flag.Bool("nowheel", false, "cluster: disable the engines' timer-wheel scheduling backend (pure-heap baseline); stdout is byte-identical either way, only host time moves")
 )
 
 // bench carries the shared experiment knobs: the optional trace sink
@@ -90,6 +91,7 @@ func main() {
 	flag.Parse()
 	bench.Parallel = parallel.Workers(*parallelFlag)
 	bench.Shard = *shardFlag
+	bench.NoWheel = *nowheelFlag
 	var tr *trace.Tracer
 	if *traceFlag != "" || *histFlag {
 		tr = trace.New()
@@ -127,15 +129,25 @@ func main() {
 }
 
 // timed wraps one experiment with a wall-clock summary: host seconds
-// spent and virtual cycles simulated (summed across every machine the
-// experiment ran, on all workers). The line goes to stderr so stdout —
+// spent, virtual cycles simulated, and engine events dispatched with
+// their per-host-second rate (summed across every machine the
+// experiment ran, on all workers). Events-per-host-second is the
+// simulator-throughput number a scheduling-backend change (heap vs
+// timer wheel) actually moves. The line goes to stderr so stdout —
 // the tables — stays byte-identical across runs and -parallel values.
 func timed(name string, fn func()) {
 	hostStart := time.Now()
 	simStart := sim.CyclesSimulated()
+	evStart := sim.EventsDispatched()
 	fn()
-	fmt.Fprintf(os.Stderr, "# %-10s %8.2fs host, %d cycles simulated\n",
-		name, time.Since(hostStart).Seconds(), sim.CyclesSimulated()-simStart)
+	secs := time.Since(hostStart).Seconds()
+	events := sim.EventsDispatched() - evStart
+	rate := 0.0
+	if secs > 0 {
+		rate = float64(events) / secs
+	}
+	fmt.Fprintf(os.Stderr, "# %-10s %8.2fs host, %d cycles simulated, %d events (%.0f/s host)\n",
+		name, secs, sim.CyclesSimulated()-simStart, events, rate)
 }
 
 // dumpTrace flushes the tracer's output after the experiments: the

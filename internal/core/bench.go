@@ -46,6 +46,10 @@ type BenchOpts struct {
 	// experiment honors it; 0 runs single-engine. Incompatible with
 	// Trace — sharded cells refuse a full tracer.
 	Shard int
+	// NoWheel disables the cluster engines' timer-wheel scheduling
+	// backend (pure-heap baseline). Results are byte-identical either
+	// way; only host time moves (cmd/xok-bench's -nowheel).
+	NoWheel bool
 }
 
 func (b *Bench) workers() int {
@@ -181,6 +185,7 @@ func (b *Bench) Cluster(cells []workload.ClusterConfig) ([]workload.ClusterResul
 		cfg := cells[i]
 		cfg.Trace = tr
 		cfg.Shard = b.Shard
+		cfg.NoWheel = b.NoWheel
 		return workload.Cluster(cfg)
 	})
 }

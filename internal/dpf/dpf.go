@@ -83,13 +83,15 @@ func (f *Filter) normalized() []Cmp {
 	return out
 }
 
-func sameFilter(a, b *Filter) bool {
-	na, nb := a.normalized(), b.normalized()
-	if len(na) != len(nb) {
+// cmpsEqual reports whether two normalized comparison lists are
+// identical (the anti-theft duplicate identity: raw values compare,
+// not masked ones, exactly as the pre-index engine did).
+func cmpsEqual(a, b []Cmp) bool {
+	if len(a) != len(b) {
 		return false
 	}
-	for i := range na {
-		if na[i] != nb[i] {
+	for i := range a {
+		if a[i] != b[i] {
 			return false
 		}
 	}
@@ -100,14 +102,133 @@ func sameFilter(a, b *Filter) bool {
 type ID int
 
 // Engine holds the installed filters and dispatches packets.
+//
+// Filters are grouped by shape — the normalized (offset, width, mask)
+// comparison layout, ignoring values — and each shape whose compared
+// bytes fit a 64-bit key indexes its filters in a hash map keyed by
+// the masked comparison values. Dispatch then extracts one key per
+// shape from the packet and looks it up, so its cost is O(shapes), not
+// O(filters): a server holding 100k per-connection filters pays two
+// map probes per packet instead of a 100k-entry scan. Real DPF gets
+// the same effect by merging filters into a prefix trie with hash
+// tables at disjunction points; the shape index is that idea flattened
+// onto this engine's conjunction-only filter language.
 type Engine struct {
 	next    ID
 	entries map[ID]*entry
+	shapes  []*shape
 }
 
 type entry struct {
+	id    ID
 	f     *Filter
 	owner any
+	norm  []Cmp  // normalized comparisons (the duplicate-check identity)
+	key   uint64 // folded masked values (keyed shapes)
+	sh    *shape
+}
+
+// shape is one comparison layout and the filters installed under it.
+type shape struct {
+	cmps []Cmp // normalized, values zeroed; masks and layout only
+	// keyed shapes (total compared width <= 8 bytes) index entries by
+	// the folded masked comparison values; wider shapes fall back to a
+	// linear list. Bucket/list order is ascending ID (append order —
+	// IDs only grow), so the oldest filter is always first.
+	keyed   bool
+	buckets map[uint64][]*entry
+	list    []*entry
+}
+
+// shapeKey folds cmps' masked values into the shape's lookup key.
+// Each comparison occupies its own bit range (its full width, of which
+// the mask keeps a subset), so the fold is collision-free.
+func shapeKey(cmps []Cmp) uint64 {
+	var key uint64
+	for _, c := range cmps {
+		key = key<<(8*c.Width) | uint64(c.Value&c.Mask)
+	}
+	return key
+}
+
+// packetKey extracts the same key from a packet, false when any
+// comparison reaches beyond the packet (which fails the filter).
+func (sh *shape) packetKey(pkt []byte) (uint64, bool) {
+	var key uint64
+	for _, c := range sh.cmps {
+		if c.Offset+c.Width > len(pkt) {
+			return 0, false
+		}
+		var v uint32
+		switch c.Width {
+		case 1:
+			v = uint32(pkt[c.Offset])
+		case 2:
+			v = uint32(binary.BigEndian.Uint16(pkt[c.Offset:]))
+		default:
+			v = binary.BigEndian.Uint32(pkt[c.Offset:])
+		}
+		key = key<<(8*c.Width) | uint64(v&c.Mask)
+	}
+	return key, true
+}
+
+// sameShape reports whether the normalized comparisons norm lay out
+// exactly as the shape's.
+func (sh *shape) sameShape(norm []Cmp) bool {
+	if len(norm) != len(sh.cmps) {
+		return false
+	}
+	for i, c := range norm {
+		s := sh.cmps[i]
+		if c.Offset != s.Offset || c.Width != s.Width || c.Mask != s.Mask {
+			return false
+		}
+	}
+	return true
+}
+
+// shapeFor finds or creates the shape of norm.
+func (e *Engine) shapeFor(norm []Cmp) *shape {
+	for _, sh := range e.shapes {
+		if sh.sameShape(norm) {
+			return sh
+		}
+	}
+	width := 0
+	cmps := make([]Cmp, len(norm))
+	for i, c := range norm {
+		width += c.Width
+		c.Value = 0
+		cmps[i] = c
+	}
+	sh := &shape{cmps: cmps, keyed: width <= 8}
+	if sh.keyed {
+		sh.buckets = make(map[uint64][]*entry)
+	}
+	e.shapes = append(e.shapes, sh)
+	return sh
+}
+
+// lookup returns the oldest installed filter matching pkt under this
+// shape (nil if none).
+func (sh *shape) lookup(pkt []byte) *entry {
+	if sh.keyed {
+		key, ok := sh.packetKey(pkt)
+		if !ok {
+			return nil
+		}
+		if b := sh.buckets[key]; len(b) > 0 {
+			return b[0]
+		}
+		return nil
+	}
+	for _, ent := range sh.list {
+		if ent.f.Match(pkt) {
+			return ent
+		}
+	}
+	return nil
 }
 
 // Errors.
@@ -140,24 +261,63 @@ func (e *Engine) Insert(f *Filter, owner any) (ID, error) {
 			return 0, fmt.Errorf("%w: offset %d", ErrBadCmp, c.Offset)
 		}
 	}
-	for _, ent := range e.entries {
-		if sameFilter(ent.f, f) {
-			return 0, ErrDuplicate
+	norm := f.normalized()
+	sh := e.shapeFor(norm)
+	ent := &entry{f: f, owner: owner, norm: norm, sh: sh}
+	if sh.keyed {
+		ent.key = shapeKey(norm)
+		for _, other := range sh.buckets[ent.key] {
+			if cmpsEqual(other.norm, norm) {
+				return 0, ErrDuplicate
+			}
+		}
+	} else {
+		for _, other := range sh.list {
+			if cmpsEqual(other.norm, norm) {
+				return 0, ErrDuplicate
+			}
 		}
 	}
-	id := e.next
+	ent.id = e.next
 	e.next++
-	e.entries[id] = &entry{f: f, owner: owner}
-	return id, nil
+	e.entries[ent.id] = ent
+	if sh.keyed {
+		sh.buckets[ent.key] = append(sh.buckets[ent.key], ent)
+	} else {
+		sh.list = append(sh.list, ent)
+	}
+	return ent.id, nil
 }
 
 // Remove uninstalls a filter.
 func (e *Engine) Remove(id ID) error {
-	if _, ok := e.entries[id]; !ok {
+	ent, ok := e.entries[id]
+	if !ok {
 		return ErrUnknownID
 	}
 	delete(e.entries, id)
+	sh := ent.sh
+	if sh.keyed {
+		b := removeEntry(sh.buckets[ent.key], ent)
+		if len(b) == 0 {
+			delete(sh.buckets, ent.key)
+		} else {
+			sh.buckets[ent.key] = b
+		}
+	} else {
+		sh.list = removeEntry(sh.list, ent)
+	}
 	return nil
+}
+
+// removeEntry deletes ent from s preserving order.
+func removeEntry(s []*entry, ent *entry) []*entry {
+	for i, other := range s {
+		if other == ent {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
 }
 
 // Len reports how many filters are installed.
@@ -166,18 +326,18 @@ func (e *Engine) Len() int { return len(e.entries) }
 // Dispatch finds the owner for pkt: the matching filter with the most
 // comparisons (most specific) wins; ties break by lowest ID (oldest
 // installed) for determinism. Returns (nil, false) if no filter claims
-// the packet.
+// the packet. One lookup per installed shape, regardless of how many
+// filters each shape holds.
 func (e *Engine) Dispatch(pkt []byte) (owner any, ok bool) {
-	bestLen := -1
-	var bestID ID
 	var best *entry
-	for id, ent := range e.entries {
-		if !ent.f.Match(pkt) {
+	for _, sh := range e.shapes {
+		ent := sh.lookup(pkt)
+		if ent == nil {
 			continue
 		}
-		n := len(ent.f.Cmps)
-		if n > bestLen || (n == bestLen && id < bestID) {
-			bestLen, bestID, best = n, id, ent
+		if best == nil || len(ent.norm) > len(best.norm) ||
+			(len(ent.norm) == len(best.norm) && ent.id < best.id) {
+			best = ent
 		}
 	}
 	if best == nil {

@@ -8,15 +8,37 @@ import (
 	"xok/internal/trace"
 )
 
+// connOwner receives connection completions. The pool that opened a
+// connection owns it; an interface (rather than a per-connection
+// callback closure) keeps opening 100k+ connections alloc-lean.
+type connOwner interface {
+	connDone(c *Conn, latency sim.Time)
+}
+
+// pathHalf is the hop capacity of each half of a connection's inline
+// path buffer; deeper routes spill to the heap.
+const pathHalf = 4
+
 // Conn is one HTTP/1.0 connection: server-side state plus the scripted
 // client endpoint (clients are other hosts; their logic runs in
 // event callbacks with no simulated-CPU accounting — the paper
 // saturates the server from multiple client hosts).
+//
+// Conn objects are deliberately NOT pooled: in-flight duplicate or
+// lost-in-transit packets keep *Conn references alive across islands
+// after completion, so recycling a retired connection under a sharded
+// run would be a determinism (and correctness) hazard. The scale pass
+// pools what cycles fast — packets, transit records, timer nodes —
+// and keeps the connection itself a plain allocation.
 type Conn struct {
 	t       *Topology
 	fwd     []hop // client -> server path (through the balancer, if any)
 	rev     []hop // the same links walked back
 	backend *NIC  // the serving machine's interface
+
+	// pathBuf holds fwd (first half) and rev (second half) inline so
+	// opening a connection does not allocate path slices.
+	pathBuf [2 * pathHalf]hop
 
 	// Load-balancer bookkeeping: which backend slot this connection
 	// holds open (released exactly once, on completion).
@@ -29,12 +51,13 @@ type Conn struct {
 	sink    *trace.Tracer
 	sinkPID int64
 
-	// class tags the request for per-class latency series ("" = the
-	// untagged legacy single-document workload).
-	class     int
-	className string
+	// class tags the request for per-class latency series;
+	// classSeries is the precomputed "http.<class>" histogram name
+	// ("" = the untagged legacy single-document workload).
+	class       int
+	classSeries string
 
-	clientPort uint16
+	clientPort uint32
 	filterID   dpf.ID
 	hasFilter  bool
 
@@ -48,8 +71,8 @@ type Conn struct {
 	tsReq     sim.Time  // when the server began serving the request
 	deadline  sim.Time  // client stops re-sending past this point (0 = never)
 	ctimer    sim.Event // client retransmission timer
-	onDone    func(latency sim.Time)
-	unacked   int // data segments since last client ACK
+	owner     connOwner // completion sink; nil once done
+	unacked   int       // data segments since last client ACK
 	reqDocLen int
 
 	// Round-trip estimation. staticRTT is the path's propagation +
@@ -116,7 +139,7 @@ func (c *Conn) Class() int { return c.class }
 
 // clientDeliver handles a server->client segment at the client host.
 func (c *Conn) clientDeliver(pkt *Packet) {
-	if c.onDone != nil {
+	if c.owner != nil {
 		c.armTimer() // any arrival is progress; push the timer back
 	}
 	if pkt.Flags&FlagSYN != 0 {
@@ -152,9 +175,9 @@ func (c *Conn) clientDeliver(pkt *Packet) {
 	// last byte completes the request — a lost FIN must not strand a
 	// connection whose data all made it.
 	if c.got >= c.expect {
-		done := c.onDone
-		c.onDone = nil
-		if done != nil {
+		owner := c.owner
+		c.owner = nil
+		if owner != nil {
 			c.t.eng.Cancel(c.ctimer)
 			c.ctimer = sim.Event{}
 			if c.lbHeld {
@@ -165,7 +188,7 @@ func (c *Conn) clientDeliver(pkt *Packet) {
 			// connection.
 			c.sendAck()
 			c.traceDone()
-			done(c.t.eng.Now() - c.started)
+			owner.connDone(c, c.t.eng.Now()-c.started)
 		}
 	}
 }
@@ -174,7 +197,7 @@ func (c *Conn) clientDeliver(pkt *Packet) {
 func (c *Conn) sendSyn() {
 	syn := c.t.newPacket()
 	syn.SrcPort, syn.DstPort, syn.Flags, syn.Conn = c.clientPort, ServerPort, FlagSYN, c
-	c.t.xmit(c.fwd, syn, c.backend.rx)
+	c.t.xmit(c.fwd, syn, c.backend)
 }
 
 // sendRequest piggybacks the HTTP request (a ~200-byte GET) on the
@@ -183,7 +206,7 @@ func (c *Conn) sendRequest() {
 	req := c.t.newPacket()
 	req.SrcPort, req.DstPort, req.Conn = c.clientPort, ServerPort, c
 	req.Flags, req.Payload = FlagACK|FlagPSH, requestBytes
-	c.t.xmit(c.fwd, req, c.backend.rx)
+	c.t.xmit(c.fwd, req, c.backend)
 }
 
 // armTimer (re)schedules the client retransmission timer. The server's
@@ -193,21 +216,26 @@ func (c *Conn) sendRequest() {
 // whatever the exchange is missing and re-arms.
 func (c *Conn) armTimer() {
 	c.t.eng.Cancel(c.ctimer)
-	c.ctimer = c.t.eng.After(c.clientTimeout(), func() {
-		c.ctimer = sim.Event{}
-		if c.onDone == nil || (c.deadline > 0 && c.t.eng.Now() >= c.deadline) {
-			return
-		}
-		switch {
-		case !c.gotSynAck:
-			c.sendSyn()
-		case c.got == 0:
-			c.sendRequest()
-		default:
-			c.sendAck() // remind the server of our progress
-		}
-		c.armTimer()
-	})
+	c.ctimer = c.t.eng.AfterArg(c.clientTimeout(), clientTimerFire, c)
+}
+
+// clientTimerFire is the client timer's firing body (package-level so
+// re-arming a timer never allocates a closure).
+func clientTimerFire(a any) {
+	c := a.(*Conn)
+	c.ctimer = sim.Event{}
+	if c.owner == nil || (c.deadline > 0 && c.t.eng.Now() >= c.deadline) {
+		return
+	}
+	switch {
+	case !c.gotSynAck:
+		c.sendSyn()
+	case c.got == 0:
+		c.sendRequest()
+	default:
+		c.sendAck() // remind the server of our progress
+	}
+	c.armTimer()
 }
 
 // lane is this connection's trace lane (TID): 10000 + the client port.
@@ -225,16 +253,21 @@ func (c *Conn) traceDone() {
 	}
 	now := c.t.eng.Now()
 	pid := c.sinkPID
-	if c.tsReq > c.started {
-		tr.Span(pid, c.lane(), "http", "handshake+request", c.started, c.tsReq)
-		tr.Span(pid, c.lane(), "http", "stream", c.tsReq, now)
+	if tr.EventsEnabled() {
+		// Span records (and their rendered args) only exist on a
+		// full tracer; a histogram-only sink skips the strconv work
+		// entirely.
+		if c.tsReq > c.started {
+			tr.Span(pid, c.lane(), "http", "handshake+request", c.started, c.tsReq)
+			tr.Span(pid, c.lane(), "http", "stream", c.tsReq, now)
+		}
+		tr.Span(pid, c.lane(), "http", "conn", c.started, now,
+			trace.Arg{Key: "doc", Val: strconv.Itoa(c.reqDocLen)},
+			trace.Arg{Key: "port", Val: strconv.Itoa(int(c.clientPort))})
 	}
-	tr.Span(pid, c.lane(), "http", "conn", c.started, now,
-		trace.Arg{Key: "doc", Val: strconv.Itoa(c.reqDocLen)},
-		trace.Arg{Key: "port", Val: strconv.Itoa(int(c.clientPort))})
 	tr.Observe(pid, "http.request", now-c.started)
-	if c.className != "" {
-		tr.Observe(pid, "http."+c.className, now-c.started)
+	if c.classSeries != "" {
+		tr.Observe(pid, c.classSeries, now-c.started)
 	}
 }
 
@@ -244,13 +277,14 @@ func (c *Conn) sendAck() {
 	ack := c.t.newPacket()
 	ack.SrcPort, ack.DstPort, ack.Conn = c.clientPort, ServerPort, c
 	ack.Flags, ack.Ack = FlagACK, c.got
-	c.t.xmit(c.fwd, ack, c.backend.rx)
+	c.t.xmit(c.fwd, ack, c.backend)
 }
 
-// deliverAndRelease consumes one client-bound delivery: unlike the
-// server path, the client processes a segment synchronously, so the
-// reference drops as soon as clientDeliver returns.
-func (c *Conn) deliverAndRelease(pkt *Packet) {
+// deliverPkt consumes one client-bound delivery (the Conn is the sink
+// of its reverse path): unlike the server path, the client processes a
+// segment synchronously, so the reference drops as soon as
+// clientDeliver returns.
+func (c *Conn) deliverPkt(pkt *Packet) {
 	c.clientDeliver(pkt)
 	c.t.release(pkt)
 }
@@ -268,7 +302,7 @@ func (c *Conn) sendToClient(flags uint8, payload, seq int) {
 	pkt := c.backend.rt.newPacket()
 	pkt.SrcPort, pkt.DstPort, pkt.Conn = ServerPort, c.clientPort, c
 	pkt.Flags, pkt.Payload, pkt.Seq = flags, payload, seq
-	c.t.xmit(c.rev, pkt, c.deliverAndRelease)
+	c.t.xmit(c.rev, pkt, c)
 }
 
 // ClientPool drives nClients closed-loop HTTP clients against the
@@ -280,7 +314,7 @@ type ClientPool struct {
 	from     HostID
 	target   HostID
 	docSize  int
-	nextPort uint16
+	nextPort uint32
 
 	stopAt    sim.Time
 	Completed int
@@ -307,10 +341,14 @@ func (t *Topology) NewClientPool(from, target HostID, clients, docSize int, stop
 	for i := 0; i < clients; i++ {
 		// Stagger starts slightly for a clean ramp.
 		d := sim.Time(i) * 100
-		t.eng.After(d, p.startRequest)
+		t.eng.AfterArg(d, poolStart, p)
 	}
 	return p
 }
+
+// poolStart launches one closed-loop client (the staggered-start
+// event's body).
+func poolStart(a any) { a.(*ClientPool).startRequest() }
 
 // startRequest opens a fresh connection and sends the SYN.
 func (p *ClientPool) startRequest() {
@@ -320,17 +358,21 @@ func (p *ClientPool) startRequest() {
 	port := p.nextPort
 	p.nextPort++
 	c := p.t.openConn(p.from, p.target, port, p.docSize, p.stopAt)
-	c.onDone = func(lat sim.Time) {
-		p.Completed++
-		p.Bytes += int64(p.docSize)
-		p.latSum += lat
-		if lat > p.LatMax {
-			p.LatMax = lat
-		}
-		p.startRequest()
-	}
+	c.owner = p
 	c.sendSyn()
 	c.armTimer()
+}
+
+// connDone books one completed closed-loop request and immediately
+// issues the next (the closed loop).
+func (p *ClientPool) connDone(_ *Conn, lat sim.Time) {
+	p.Completed++
+	p.Bytes += int64(p.docSize)
+	p.latSum += lat
+	if lat > p.LatMax {
+		p.LatMax = lat
+	}
+	p.startRequest()
 }
 
 // MeanLatency reports the average request latency.

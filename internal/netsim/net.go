@@ -46,9 +46,12 @@ const (
 
 // Packet is one TCP segment (payload content is not materialized; the
 // header bytes are real so the packet filters have something to match).
+// Ports are 32 bits wide — wider than TCP's — so a connection-scale
+// run (100k+ client ports from one host) never wraps into a colliding
+// port and a stolen packet filter.
 type Packet struct {
-	SrcPort uint16
-	DstPort uint16
+	SrcPort uint32
+	DstPort uint32
 	Flags   uint8
 	Payload int
 	Seq     int // first payload byte's offset in the response stream
@@ -62,20 +65,20 @@ type Packet struct {
 }
 
 // HeaderInto renders the bytes the packet filter engine matches — dst
-// port, src port, flags — into buf (len >= 5), returning buf[:5]. The
-// receive path reuses one per-NIC buffer: the filter engine matches and
-// never retains.
+// port at 0 (32 bits), src port at 4 (32 bits), flags at 8 — into buf
+// (len >= 9), returning buf[:9]. The receive path reuses one per-NIC
+// buffer: the filter engine matches and never retains.
 func (p *Packet) HeaderInto(buf []byte) []byte {
-	_ = buf[4]
-	binary.BigEndian.PutUint16(buf[0:], p.DstPort)
-	binary.BigEndian.PutUint16(buf[2:], p.SrcPort)
-	buf[4] = p.Flags
-	return buf[:5]
+	_ = buf[8]
+	binary.BigEndian.PutUint32(buf[0:], p.DstPort)
+	binary.BigEndian.PutUint32(buf[4:], p.SrcPort)
+	buf[8] = p.Flags
+	return buf[:9]
 }
 
 // Header renders the match bytes into a fresh slice.
 func (p *Packet) Header() []byte {
-	return p.HeaderInto(make([]byte, 5))
+	return p.HeaderInto(make([]byte, 9))
 }
 
 // Net is the deprecated single-machine view of the fabric: one server

@@ -115,13 +115,27 @@ func TestForkPerRequestThrottles(t *testing.T) {
 	}
 }
 
+// nowSink records the engine time of its delivery.
+type nowSink struct {
+	eng *sim.Engine
+	at  *sim.Time
+}
+
+func (s *nowSink) deliverPkt(*Packet) { *s.at = s.eng.Now() }
+
 func TestWireTimeSerializesLink(t *testing.T) {
 	eng := sim.NewEngine()
 	rt := &islandRT{eng: eng}
 	l := &link{rt: [2]*islandRT{rt, rt}, bps: sim.LinkBandwidthBps, latency: sim.LinkLatency}
 	var first, second sim.Time
-	l.transmit(0, 1460, func() { first = eng.Now() })
-	l.transmit(0, 1460, func() { second = eng.Now() })
+	send := func(at *sim.Time) {
+		tr := rt.newTransit()
+		tr.rt = rt
+		tr.to = &nowSink{eng: eng, at: at}
+		l.transmit(0, 1460, tr)
+	}
+	send(&first)
+	send(&second)
 	eng.Run()
 	if second <= first {
 		t.Fatal("second frame not serialized behind the first")
@@ -136,11 +150,14 @@ func TestWireTimeSerializesLink(t *testing.T) {
 func TestPacketHeaderMatchesFilters(t *testing.T) {
 	p := &Packet{SrcPort: 5555, DstPort: 80, Flags: FlagSYN}
 	h := p.Header()
-	if len(h) != 5 || h[0] != 0 || h[1] != 80 || h[2] != 0x15 || h[3] != 0xB3 {
-		t.Fatalf("header = %v", h)
+	want := []byte{0, 0, 0, 80, 0, 0, 0x15, 0xB3, FlagSYN}
+	if len(h) != len(want) {
+		t.Fatalf("header = %v, want %v", h, want)
 	}
-	if h[4] != FlagSYN {
-		t.Fatalf("flags byte = %v", h[4])
+	for i := range want {
+		if h[i] != want[i] {
+			t.Fatalf("header = %v, want %v", h, want)
+		}
 	}
 }
 

@@ -84,6 +84,27 @@ type OpenPool struct {
 	// ClassDone/ClassBytes break completions down per request class.
 	ClassDone  []int
 	ClassBytes []int64
+
+	// arrivals holds every pre-drawn arrival; each is scheduled via
+	// AtArg with a pointer into this slice, so a million-connection
+	// launch plan costs one allocation, not one closure per arrival.
+	arrivals []arrival
+	// series holds the precomputed "http.<class>" histogram names.
+	series []string
+}
+
+// arrival is one pre-drawn connection arrival.
+type arrival struct {
+	p    *OpenPool
+	port uint32
+	ci   int32
+}
+
+// launchArrival opens the arrival's connection (the scheduled event's
+// body; package-level for alloc-free scheduling).
+func launchArrival(a any) {
+	ar := a.(*arrival)
+	ar.p.launch(ar.port, int(ar.ci))
 }
 
 // defaultClasses is the single-class fallback mix.
@@ -114,6 +135,11 @@ func (t *Topology) OpenLoop(cfg OpenLoopConfig) *OpenPool {
 		t: t, cfg: cfg, Started: t.eng.Now(),
 		ClassDone:  make([]int, len(cfg.Classes)),
 		ClassBytes: make([]int64, len(cfg.Classes)),
+		arrivals:   make([]arrival, cfg.Conns),
+		series:     make([]string, len(cfg.Classes)),
+	}
+	for i, cl := range cfg.Classes {
+		p.series[i] = "http." + cl.Name
 	}
 	totalW := 0
 	for _, cl := range cfg.Classes {
@@ -122,7 +148,7 @@ func (t *Topology) OpenLoop(cfg OpenLoopConfig) *OpenPool {
 	rng := sim.NewRNG(cfg.Seed)
 	perArrival := float64(sim.CPUHz) / cfg.Rate // mean gap in cycles
 	at := p.Started
-	port := uint16(10000)
+	port := uint32(10000)
 	for i := 0; i < cfg.Conns; i++ {
 		switch cfg.Arrival {
 		case ArrivalUniform:
@@ -142,38 +168,41 @@ func (t *Topology) OpenLoop(cfg OpenLoopConfig) *OpenPool {
 				ci++
 			}
 		}
-		myPort, myClass := port, ci
+		p.arrivals[i] = arrival{p: p, port: port, ci: int32(ci)}
 		port++
-		t.eng.At(at, func() { p.launch(myPort, myClass) })
+		t.eng.AtArg(at, launchArrival, &p.arrivals[i])
 	}
 	return p
 }
 
 // launch opens one connection (the arrival instant).
-func (p *OpenPool) launch(port uint16, ci int) {
+func (p *OpenPool) launch(port uint32, ci int) {
 	cl := p.cfg.Classes[ci]
 	var deadline sim.Time
 	if p.cfg.Deadline > 0 {
 		deadline = p.t.eng.Now() + p.cfg.Deadline
 	}
 	c := p.t.openConn(p.cfg.From, p.cfg.Target, port, cl.DocSize, deadline)
-	c.class, c.className = ci, cl.Name
+	c.class, c.classSeries = ci, p.series[ci]
 	if p.cfg.Trace != nil {
 		c.sink, c.sinkPID = p.cfg.Trace, p.cfg.TracePID
 	}
 	p.Issued++
-	c.onDone = func(lat sim.Time) {
-		p.Completed++
-		p.Bytes += int64(cl.DocSize)
-		p.ClassDone[ci]++
-		p.ClassBytes[ci] += int64(cl.DocSize)
-		p.LastDone = p.t.eng.Now()
-		if lat > p.LatMax {
-			p.LatMax = lat
-		}
-	}
+	c.owner = p
 	c.sendSyn()
 	c.armTimer()
+}
+
+// connDone books one completed open-loop connection.
+func (p *OpenPool) connDone(c *Conn, lat sim.Time) {
+	p.Completed++
+	p.Bytes += int64(c.reqDocLen)
+	p.ClassDone[c.class]++
+	p.ClassBytes[c.class] += int64(c.reqDocLen)
+	p.LastDone = p.t.eng.Now()
+	if lat > p.LatMax {
+		p.LatMax = lat
+	}
 }
 
 // Makespan is the offered-to-drained duration: first arrival

@@ -68,48 +68,56 @@ func TestRunShardedRejectsGlobalNondeterminism(t *testing.T) {
 // link; each side draws from its own island freelist and releases
 // what lands on it, so a warmed steady state recycles every packet.
 type pingPong struct {
-	tp       *Topology
-	ab, ba   []hop
-	left     int
-	deliverA func(*Packet)
-	deliverB func(*Packet)
+	tp     *Topology
+	ab, ba []hop
+	a, b   HostID
+	left   int
 }
 
-func (pp *pingPong) send(path []hop, deliver func(*Packet)) {
+// ppSinkA/ppSinkB are the two delivery endpoints (one per island).
+type ppSinkA struct{ pp *pingPong }
+type ppSinkB struct{ pp *pingPong }
+
+// deliverPkt on B's island: recycle the landed packet, volley back.
+func (s *ppSinkB) deliverPkt(pkt *Packet) {
+	pp := s.pp
+	pp.tp.hosts[pp.b].rt.release(pkt)
+	pp.send(pp.ba, &ppSinkA{pp})
+}
+
+// deliverPkt on the root island: recycle, count, volley again.
+func (s *ppSinkA) deliverPkt(pkt *Packet) {
+	pp := s.pp
+	pp.tp.hosts[pp.a].rt.release(pkt)
+	if pp.left--; pp.left > 0 {
+		pp.send(pp.ab, &ppSinkB{pp})
+	}
+}
+
+func (pp *pingPong) send(path []hop, to sink) {
 	from := path[0].l.rt[path[0].dir]
 	pkt := from.newPacket()
 	pkt.SrcPort, pkt.DstPort = 9999, ServerPort
 	pkt.Payload = MSS
-	pp.tp.xmit(path, pkt, deliver)
+	pp.tp.xmit(path, pkt, to)
 }
 
 // TestCrossIslandHandoffSteadyStateAllocs pins the allocation count of
 // the cross-partition packet hand-off: in steady state a round trip
-// costs only forward's per-hop transmit closures (one per direction) —
-// packets recycle through the island freelists and the channel rings
+// costs only the two sink wrappers the test itself builds per volley —
+// packets and transit records recycle through the island freelists,
+// SendArg hands events across without a closure, and the channel rings
 // are warm, exactly as on the single-engine path.
 func TestCrossIslandHandoffSteadyStateAllocs(t *testing.T) {
 	tp, a, b := shardPair(t, LinkSpec{})
-	pp := &pingPong{tp: tp}
+	pp := &pingPong{tp: tp, a: a, b: b}
 	pp.ab = tp.appendPath(nil, a, b)
 	pp.ba = tp.appendPath(nil, b, a)
-	// deliverB runs on b's island: recycle the landed packet, volley
-	// back. deliverA runs on the root island: recycle, count, volley.
-	pp.deliverB = func(pkt *Packet) {
-		tp.hosts[b].rt.release(pkt)
-		pp.send(pp.ba, pp.deliverA)
-	}
-	pp.deliverA = func(pkt *Packet) {
-		tp.hosts[a].rt.release(pkt)
-		if pp.left--; pp.left > 0 {
-			pp.send(pp.ab, pp.deliverB)
-		}
-	}
 
 	const volleys = 400
 	run := func() {
 		pp.left = volleys
-		tp.Engine().At(tp.Engine().Now(), func() { pp.send(pp.ab, pp.deliverB) })
+		tp.Engine().At(tp.Engine().Now(), func() { pp.send(pp.ab, &ppSinkB{pp}) })
 		if err := tp.RunSharded(); err != nil {
 			t.Fatal(err)
 		}
@@ -117,10 +125,10 @@ func TestCrossIslandHandoffSteadyStateAllocs(t *testing.T) {
 	run() // warm freelists and channel rings
 
 	avg := testing.AllocsPerRun(3, run)
-	// 2 transmit closures per round trip, plus the run's fixed
+	// 2 test-built sink wrappers per round trip, plus the run's fixed
 	// overhead (goroutines, termination state) amortized over the
-	// volleys. Anything near 3/volley means packets or ring slots are
-	// being reallocated per message.
+	// volleys. Anything near 3/volley means packets, transit records or
+	// ring slots are being reallocated per message.
 	if perVolley := avg / volleys; perVolley > 2.5 {
 		t.Fatalf("cross-island hand-off: %.2f allocs/volley, want <= 2.5", perVolley)
 	}

@@ -55,15 +55,16 @@ type NIC struct {
 	DPF  *dpf.Engine
 
 	stack  *Stack
-	hdrBuf [5]byte // rx filter-match scratch
+	hdrBuf [9]byte // rx filter-match scratch
 }
 
 // Host returns the NIC's host id in the topology.
 func (nic *NIC) Host() HostID { return nic.host.id }
 
-// rx is the NIC receive path: interrupt, packet filter, enqueue on
-// the owner's ring, wake the server.
-func (nic *NIC) rx(pkt *Packet) {
+// deliverPkt is the NIC receive path (the NIC is the sink of every
+// client->server path): interrupt, packet filter, enqueue on the
+// owner's ring, wake the server.
+func (nic *NIC) deliverPkt(pkt *Packet) {
 	nic.K.ChargeInterrupt(sim.CostNICInterrupt)
 	nic.K.Stats.Inc(sim.CtrPacketsRx)
 	if tr := nic.K.Trace; tr != nil && pkt.Conn != nil {
@@ -104,7 +105,13 @@ type Stack struct {
 	cfg StackConfig
 	env *kernel.Env
 
+	// inbox is a head-indexed queue: wait pops from inHead and the
+	// storage is reclaimed wholesale when it drains, so steady-state
+	// receive buffering allocates nothing (the old inbox[1:] drift
+	// forced append to reallocate continuously).
 	inbox   []*Packet
+	inHead  int
+	rg      ring // shared filter owner: one ring per stack, not per conn
 	handler Handler
 
 	// stopAt ends the server loop at a deadline; 0 serves forever
@@ -116,10 +123,10 @@ type Stack struct {
 // until stopAt (0 = serve forever; then the environment exits).
 func (nic *NIC) Serve(env *kernel.Env, cfg StackConfig, handler Handler, stopAt sim.Time) *Stack {
 	s := &Stack{nic: nic, cfg: cfg, env: env, handler: handler, stopAt: stopAt}
+	s.rg.stack = s
 	nic.stack = s
-	r := &ring{stack: s}
-	listen := &dpf.Filter{Cmps: []dpf.Cmp{dpf.Eq16(0, ServerPort)}}
-	if _, err := nic.DPF.Insert(listen, r); err != nil {
+	listen := &dpf.Filter{Cmps: []dpf.Cmp{dpf.Eq32(0, ServerPort)}}
+	if _, err := nic.DPF.Insert(listen, &s.rg); err != nil {
 		panic("netsim: listen filter: " + err.Error())
 	}
 	if stopAt > 0 {
@@ -138,14 +145,19 @@ func (s *Stack) expired() bool {
 
 // wait blocks the server until a packet arrives or the deadline hits.
 func (s *Stack) wait() *Packet {
-	for len(s.inbox) == 0 {
+	for s.inHead == len(s.inbox) {
 		if s.expired() {
 			return nil
 		}
 		s.env.Block()
 	}
-	pkt := s.inbox[0]
-	s.inbox = s.inbox[1:]
+	pkt := s.inbox[s.inHead]
+	s.inbox[s.inHead] = nil
+	s.inHead++
+	if s.inHead == len(s.inbox) {
+		s.inbox = s.inbox[:0]
+		s.inHead = 0
+	}
 	return pkt
 }
 
@@ -193,10 +205,10 @@ func (s *Stack) acceptConn(c *Conn) {
 	c.srvAccepted = true
 	s.env.Use(s.cfg.PerConn)
 	f := &dpf.Filter{Cmps: []dpf.Cmp{
-		dpf.Eq16(0, ServerPort),
-		dpf.Eq16(2, c.clientPort),
+		dpf.Eq32(0, ServerPort),
+		dpf.Eq32(4, c.clientPort),
 	}}
-	id, err := s.nic.DPF.Insert(f, &ring{stack: s})
+	id, err := s.nic.DPF.Insert(f, &s.rg)
 	if err == nil {
 		c.filterID = id
 		c.hasFilter = true
@@ -271,16 +283,23 @@ func (s *Stack) sendFrom(c *Conn, from int, first bool) {
 func (s *Stack) armRTO(c *Conn) {
 	eng := s.nic.rt.eng
 	eng.Cancel(c.rto)
-	c.rto = eng.After(c.serverTimeout(), func() {
-		c.rto = sim.Event{}
-		if c.srvDone || s.expired() {
-			return
-		}
-		mp := s.nic.rt.newPacket()
-		mp.Flags, mp.Conn, mp.refs = flagRetransmit, c, 1
-		s.inbox = append(s.inbox, mp)
-		s.nic.K.Wake(s.env)
-	})
+	c.rto = eng.AfterArg(c.serverTimeout(), rtoFire, c)
+}
+
+// rtoFire is the RTO firing body (package-level so the dominant
+// arm/cancel timer churn never allocates). The stack is reached
+// through the connection's backend NIC — the same stack armRTO ran on.
+func rtoFire(a any) {
+	c := a.(*Conn)
+	c.rto = sim.Event{}
+	s := c.backend.stack
+	if s == nil || c.srvDone || s.expired() {
+		return
+	}
+	mp := s.nic.rt.newPacket()
+	mp.Flags, mp.Conn, mp.refs = flagRetransmit, c, 1
+	s.inbox = append(s.inbox, mp)
+	s.nic.K.Wake(s.env)
 }
 
 // retransmit resends the unacknowledged tail (go-back-N) out of the

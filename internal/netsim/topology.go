@@ -38,6 +38,12 @@ type islandRT struct {
 	// by the island it landed on.
 	freePkts []*Packet
 
+	// freeTransits recycles the per-hop delivery records the same way:
+	// popped by the island sending a hop, pushed back by the island the
+	// hop lands on. Each list is only ever touched by its own island's
+	// goroutine.
+	freeTransits []*transit
+
 	drops      *int64
 	localDrops int64
 }
@@ -60,6 +66,71 @@ func (rt *islandRT) release(p *Packet) {
 	if p.refs == 0 {
 		rt.freePkts = append(rt.freePkts, p)
 	}
+}
+
+// newTransit returns a zeroed delivery record from the island's
+// freelist.
+func (rt *islandRT) newTransit() *transit {
+	if k := len(rt.freeTransits); k > 0 {
+		tr := rt.freeTransits[k-1]
+		rt.freeTransits = rt.freeTransits[:k-1]
+		return tr
+	}
+	return &transit{}
+}
+
+// freeTransit recycles a finished delivery record.
+func (rt *islandRT) freeTransit(tr *transit) {
+	*tr = transit{}
+	rt.freeTransits = append(rt.freeTransits, tr)
+}
+
+// sink consumes packets that reach the end of their path: a *NIC (the
+// server receive path) or a *Conn (the scripted client endpoint).
+// Using an interface instead of a func value keeps xmit calls
+// alloc-free — binding a method value allocates, converting a pointer
+// to an interface does not.
+type sink interface {
+	deliverPkt(*Packet)
+}
+
+// transit is one copy of one segment in flight across one hop: the
+// pooled record link.transmit schedules instead of a fresh closure per
+// hop (at connection scale the per-hop closures were the fabric's
+// dominant allocation). The fault decisions are drawn at send time in
+// forward — exactly where the closure captured them before — and the
+// record is freed by the island the hop lands on (rt).
+type transit struct {
+	t     *Topology
+	rt    *islandRT // receiving island: runs the arrival, frees the record
+	path  []hop
+	i     int
+	pkt   *Packet
+	to    sink
+	lost  bool
+	delay sim.Time
+}
+
+// transitArrive is the arrival event for one hop: drop a lost copy,
+// forward an inner hop, apply a reorder delay on the last hop, or
+// deliver to the sink. Package-level so scheduling it via AtArg /
+// SendArg captures nothing.
+func transitArrive(a any) {
+	tr := a.(*transit)
+	switch {
+	case tr.lost:
+		tr.rt.release(tr.pkt)
+	case tr.i+1 < len(tr.path):
+		tr.t.forward(tr.path, tr.i+1, tr.pkt, tr.to)
+	case tr.delay > 0:
+		d := tr.delay
+		tr.delay = 0
+		tr.rt.eng.AfterArg(d, transitArrive, tr)
+		return // still in flight; the delayed firing frees it
+	default:
+		tr.to.deliverPkt(tr.pkt)
+	}
+	tr.rt.freeTransit(tr)
 }
 
 // Policy selects how a load balancer spreads new connections over its
@@ -145,13 +216,14 @@ func (l *link) full(dir int) bool {
 	return backlog > sim.Time(l.queue)*l.wire(MSS)
 }
 
-// transmit serializes a frame on one direction and schedules delivery
-// after the wire time plus propagation — on the sender's own engine
-// for an intra-island link, or through the cross-island channel when
-// the far end lives on another island. Serialization makes arrival
-// timestamps per direction strictly increasing (tx is at least one
-// cycle), which is exactly the channel's ordering contract.
-func (l *link) transmit(dir int, payload int, deliver func()) {
+// transmit serializes a frame on one direction and schedules its
+// arrival record after the wire time plus propagation — on the
+// sender's own engine for an intra-island link, or through the
+// cross-island channel when the far end lives on another island.
+// Serialization makes arrival timestamps per direction strictly
+// increasing (tx is at least one cycle), which is exactly the
+// channel's ordering contract.
+func (l *link) transmit(dir int, payload int, tr *transit) {
 	rt := l.rt[dir]
 	start := rt.eng.Now()
 	if l.busy[dir] > start {
@@ -161,10 +233,10 @@ func (l *link) transmit(dir int, payload int, deliver func()) {
 	l.busy[dir] = start + tx
 	at := start + tx + l.latency
 	if ch := l.xch[dir]; ch != nil {
-		ch.Send(at, deliver)
+		ch.SendArg(at, transitArrive, tr)
 		return
 	}
-	rt.eng.At(at, deliver)
+	rt.eng.AtArg(at, transitArrive, tr)
 }
 
 // hop is one directed traversal of a link.
@@ -267,6 +339,10 @@ type Topology struct {
 	paths  map[pairKey][]HostID
 	trunks map[pairKey]*trunkSet
 
+	// noWheel mirrors sim.Engine.SetWheel across the fabric: SetWheel
+	// records it here so islands added later inherit the setting.
+	noWheel bool
+
 	// islands[0] is the root (the topology's own engine — clients and
 	// balancers always live there); AddIsland appends the rest. All
 	// client-side connection logic, routing-table mutation and balancer
@@ -302,8 +378,20 @@ func NewTopologyOn(eng *sim.Engine) *Topology {
 func (t *Topology) AddIsland() IslandID {
 	rt := &islandRT{id: len(t.islands), eng: sim.NewEngine()}
 	rt.drops = &rt.localDrops
+	rt.eng.SetWheel(!t.noWheel)
 	t.islands = append(t.islands, rt)
 	return IslandID(rt.id)
+}
+
+// SetWheel toggles the timer-wheel scheduling backend (on by default)
+// on every island engine, current and future. The off position is the
+// pure-heap baseline; results are bit-identical either way — only the
+// host time to produce them moves.
+func (t *Topology) SetWheel(on bool) {
+	t.noWheel = !on
+	for _, rt := range t.islands {
+		rt.eng.SetWheel(on)
+	}
 }
 
 // Islands reports the partition count (1 = unsharded).
@@ -495,13 +583,12 @@ func (t *Topology) appendPath(dst []hop, from, to HostID) []hop {
 	return dst
 }
 
-// reversePath is the same links walked the other way.
-func reversePath(fwd []hop) []hop {
-	rev := make([]hop, len(fwd))
-	for i, h := range fwd {
-		rev[len(fwd)-1-i] = hop{l: h.l, dir: 1 - h.dir}
+// appendReverse appends fwd's links walked the other way onto dst.
+func appendReverse(dst, fwd []hop) []hop {
+	for i := len(fwd) - 1; i >= 0; i-- {
+		dst = append(dst, hop{l: fwd[i].l, dir: 1 - fwd[i].dir})
 	}
-	return rev
+	return dst
 }
 
 // pathRTT is the static round-trip estimate of a path: twice the
@@ -532,27 +619,27 @@ func (t *Topology) release(p *Packet) { t.islands[0].release(p) }
 // a tail-dropped one (full queue) consumes nothing. A duplicated
 // segment is sent twice back to back. Each copy carries one
 // reference; a lost or dropped copy releases it, a delivered copy
-// passes it to deliver, which owns it from then on.
-func (t *Topology) xmit(path []hop, pkt *Packet, deliver func(*Packet)) {
+// passes it to the sink, which owns it from then on.
+func (t *Topology) xmit(path []hop, pkt *Packet, to sink) {
 	copies := 1
 	if t.Faults.DupSegment() {
 		copies = 2
 	}
 	pkt.refs = copies
 	for i := 0; i < copies; i++ {
-		t.forward(path, 0, pkt, deliver)
+		t.forward(path, 0, pkt, to)
 	}
 }
 
-// forward sends one copy across hop i and recurses to i+1 on arrival.
-// Fault decisions draw in the legacy order (fabric loss, link loss,
-// plan loss, plan reorder) at every hop. Hop i runs on the island of
-// its sending host; the delivery closure runs on the receiving host's
-// island (which is hop i+1's sending island), so every freelist and
-// drop-counter touch is island-local. The fabric-global decision
-// streams (LossRate, Faults) only draw on unsharded fabrics —
-// RunSharded rejects them.
-func (t *Topology) forward(path []hop, i int, pkt *Packet, deliver func(*Packet)) {
+// forward sends one copy across hop i; its transit record recurses to
+// i+1 on arrival. Fault decisions draw in the legacy order (fabric
+// loss, link loss, plan loss, plan reorder) at every hop, at send
+// time. Hop i runs on the island of its sending host; the arrival
+// record runs on the receiving host's island (which is hop i+1's
+// sending island), so every freelist and drop-counter touch is
+// island-local. The fabric-global decision streams (LossRate, Faults)
+// only draw on unsharded fabrics — RunSharded rejects them.
+func (t *Topology) forward(path []hop, i int, pkt *Packet, to sink) {
 	h := path[i]
 	send, recv := h.l.rt[h.dir], h.l.rt[1-h.dir]
 	last := i == len(path)-1
@@ -572,18 +659,10 @@ func (t *Topology) forward(path []hop, i int, pkt *Packet, deliver func(*Packet)
 		send.release(pkt)
 		return
 	}
-	h.l.transmit(h.dir, pkt.Payload, func() {
-		switch {
-		case lost:
-			recv.release(pkt)
-		case !last:
-			t.forward(path, i+1, pkt, deliver)
-		case delay > 0:
-			recv.eng.After(delay, func() { deliver(pkt) })
-		default:
-			deliver(pkt)
-		}
-	})
+	tr := send.newTransit()
+	tr.t, tr.rt, tr.path, tr.i = t, recv, path, i
+	tr.pkt, tr.to, tr.lost, tr.delay = pkt, to, lost, delay
+	h.l.transmit(h.dir, pkt.Payload, tr)
 }
 
 // wireShards creates the cross-island hand-off channels for every link
@@ -662,7 +741,7 @@ func (t *Topology) RunSharded() error {
 // directly to a NIC host, or to a load balancer, which picks a
 // backend by its policy at connection-open time (an L4 balancer's
 // connection table) and forwards every packet as an ordinary hop.
-func (t *Topology) openConn(from, target HostID, port uint16, docSize int, deadline sim.Time) *Conn {
+func (t *Topology) openConn(from, target HostID, port uint32, docSize int, deadline sim.Time) *Conn {
 	c := &Conn{
 		t:          t,
 		clientPort: port,
@@ -671,6 +750,10 @@ func (t *Topology) openConn(from, target HostID, port uint16, docSize int, deadl
 		deadline:   deadline,
 		reqDocLen:  docSize,
 	}
+	// Paths build into the connection's inline buffer (half each way);
+	// a route deeper than pathHalf hops spills to the heap. The cluster
+	// fabric is two hops (client -> balancer -> server).
+	fwd := c.pathBuf[:0:pathHalf]
 	dst := target
 	if th := t.hosts[target]; th.kind == kindLB {
 		lb := th.lb
@@ -693,16 +776,21 @@ func (t *Topology) openConn(from, target HostID, port uint16, docSize int, deadl
 		idx := lb.pick()
 		c.lbRef, c.lbIdx, c.lbHeld = lb, idx, true
 		dst = lb.backends[idx]
-		c.fwd = t.appendPath(c.fwd, from, target)
-		c.fwd = t.appendPath(c.fwd, target, dst)
+		fwd = t.appendPath(fwd, from, target)
+		fwd = t.appendPath(fwd, target, dst)
 	} else {
-		c.fwd = t.appendPath(nil, from, target)
+		fwd = t.appendPath(fwd, from, target)
 	}
+	c.fwd = fwd
 	if t.hosts[dst].nic == nil {
 		panic("netsim: connection target " + t.hosts[dst].name + " has no NIC")
 	}
 	c.backend = t.hosts[dst].nic
-	c.rev = reversePath(c.fwd)
+	if len(fwd) <= pathHalf {
+		c.rev = appendReverse(c.pathBuf[pathHalf:pathHalf:2*pathHalf], fwd)
+	} else {
+		c.rev = appendReverse(make([]hop, 0, len(fwd)), fwd)
+	}
 	c.staticRTT = pathRTT(c.fwd)
 	c.rttEst = c.staticRTT
 	// Default trace sink: the backend machine's tracer (pools may

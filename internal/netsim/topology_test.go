@@ -8,6 +8,20 @@ import (
 	"xok/internal/sim"
 )
 
+// funcSink adapts a func(*Packet) to the sink interface for tests.
+type funcSink struct{ f func(*Packet) }
+
+func (s *funcSink) deliverPkt(p *Packet) { s.f(p) }
+
+// testTransit builds a terminal transit record (no further hops)
+// delivering to the given sink.
+func testTransit(rt *islandRT, to sink) *transit {
+	tr := rt.newTransit()
+	tr.rt = rt
+	tr.to = to
+	return tr
+}
+
 // TestLinkCustomBandwidthSerializes: frames on a slow link serialize
 // against the custom wire time, not the default Ethernet's.
 func TestLinkCustomBandwidthSerializes(t *testing.T) {
@@ -16,8 +30,9 @@ func TestLinkCustomBandwidthSerializes(t *testing.T) {
 	rt := &islandRT{eng: eng}
 	l := &link{rt: [2]*islandRT{rt, rt}, bps: bps, latency: sim.LinkLatency}
 	var deliveries []sim.Time
-	l.transmit(0, 1460, func() { deliveries = append(deliveries, eng.Now()) })
-	l.transmit(0, 1460, func() { deliveries = append(deliveries, eng.Now()) })
+	record := &funcSink{f: func(p *Packet) { deliveries = append(deliveries, eng.Now()) }}
+	l.transmit(0, 1460, testTransit(rt, record))
+	l.transmit(0, 1460, testTransit(rt, record))
 	eng.Run()
 	if len(deliveries) != 2 {
 		t.Fatalf("delivered %d frames, want 2", len(deliveries))
@@ -47,10 +62,11 @@ func TestQueueTailDrop(t *testing.T) {
 
 	const burst = 16
 	delivered := 0
+	count := &funcSink{f: func(p *Packet) { delivered++; tp.release(p) }}
 	for i := 0; i < burst; i++ {
 		pkt := tp.newPacket()
 		pkt.Payload = MSS
-		tp.xmit(path, pkt, func(p *Packet) { delivered++; tp.release(p) })
+		tp.xmit(path, pkt, count)
 	}
 	tp.Engine().Run()
 	if tp.Drops == 0 {
@@ -74,10 +90,11 @@ func TestUnboundedQueueNeverDrops(t *testing.T) {
 	tp.Link(a, b, LinkSpec{})
 	path := tp.appendPath(nil, a, b)
 	delivered := 0
+	count := &funcSink{f: func(p *Packet) { delivered++; tp.release(p) }}
 	for i := 0; i < 64; i++ {
 		pkt := tp.newPacket()
 		pkt.Payload = MSS
-		tp.xmit(path, pkt, func(p *Packet) { delivered++; tp.release(p) })
+		tp.xmit(path, pkt, count)
 	}
 	tp.Engine().Run()
 	if delivered != 64 || tp.Drops != 0 {
@@ -254,7 +271,7 @@ func TestBFSRouting(t *testing.T) {
 	delivered := false
 	pkt := tp.newPacket()
 	pkt.Payload = 100
-	tp.xmit(path, pkt, func(p *Packet) { delivered = true; tp.release(p) })
+	tp.xmit(path, pkt, &funcSink{f: func(p *Packet) { delivered = true; tp.release(p) }})
 	tp.Engine().Run()
 	if !delivered {
 		t.Fatal("packet not delivered across 3-hop route")

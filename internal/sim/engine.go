@@ -41,8 +41,9 @@ type node struct {
 	fnArg   func(any) // set (with arg) by AfterArg instead of fn
 	arg     any
 	gen     uint32
-	index   int32 // position in the heap, -1 once popped/removed
-	next    *node // free-list link
+	index   int32 // heap position, -1 once popped/removed, <= -2 in a wheel bucket
+	next    *node // free-list / wheel-bucket link
+	prev    *node // wheel-bucket back link (O(1) cancel)
 }
 
 // Engine is the discrete-event core: a virtual clock plus a
@@ -66,7 +67,16 @@ type Engine struct {
 	free    *node
 	hook    func(at Time) // observes every fired event; nil = off
 	metered Time          // clock value already flushed to the global meter
+	wheel   *wheel        // far-future backend (wheel.go), lazily allocated
+	noWheel bool          // SetWheel(false): pure-heap baseline mode
+	fired   int64         // events dispatched since the last meter flush
+	flushed int64         // events already published to the global meter
 }
+
+// Dispatched returns the total events this engine has fired since it
+// was created — the per-engine view of the global EventsDispatched
+// meter, deterministic for a deterministic schedule.
+func (e *Engine) Dispatched() int64 { return e.flushed + e.fired }
 
 // NewEngine returns an engine with the clock at zero and no events.
 func NewEngine() *Engine { return &Engine{} }
@@ -74,9 +84,16 @@ func NewEngine() *Engine { return &Engine{} }
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// Pending reports the number of events queued. (Cancel removes events
-// from the heap eagerly, so everything in it is live.)
-func (e *Engine) Pending() int { return len(e.heap) }
+// Pending reports the number of events queued, whether they currently
+// sit in the heap or in a timer-wheel bucket. (Cancel removes events
+// from both eagerly, so everything counted is live.)
+func (e *Engine) Pending() int {
+	n := len(e.heap)
+	if e.wheel != nil {
+		n += e.wheel.count
+	}
+	return n
+}
 
 // SetEventHook installs h to be called once per fired event, just
 // before its callback runs and after the clock has advanced to its
@@ -85,7 +102,9 @@ func (e *Engine) Pending() int { return len(e.heap) }
 func (e *Engine) SetEventHook(h func(at Time)) { e.hook = h }
 
 // schedule acquires a node (recycling from the free list when
-// possible), stamps it, and pushes it on the heap.
+// possible), stamps it, and files it: far-future events go to the
+// timer wheel, everything else to the heap. The (at, seq) stamp is
+// fixed here, so the filing decision can never affect pop order.
 func (e *Engine) schedule(t Time) *node {
 	if t < e.now {
 		t = e.now
@@ -101,7 +120,9 @@ func (e *Engine) schedule(t Time) *node {
 	n.schedAt = e.now
 	n.seq = e.seq
 	e.seq++
-	e.push(n)
+	if !e.wheelAdd(n) {
+		e.push(n)
+	}
 	return n
 }
 
@@ -113,6 +134,7 @@ func (e *Engine) release(n *node) {
 	n.fnArg = nil
 	n.arg = nil
 	n.index = -1
+	n.prev = nil
 	n.next = e.free
 	e.free = n
 }
@@ -143,15 +165,29 @@ func (e *Engine) AfterArg(d Time, fn func(any), arg any) Event {
 	return Event{n, n.gen}
 }
 
+// AtArg schedules fn(arg) to run when the clock reaches t — the
+// absolute-time analogue of AfterArg, with the same allocation-free
+// steady state.
+func (e *Engine) AtArg(t Time, fn func(any), arg any) Event {
+	n := e.schedule(t)
+	n.fnArg = fn
+	n.arg = arg
+	return Event{n, n.gen}
+}
+
 // Cancel prevents ev from firing. Cancelling the zero Event, an
 // already-fired or already-cancelled event — even if its slot has
 // since been recycled for a newer event — is a no-op.
 func (e *Engine) Cancel(ev Event) {
 	n := ev.n
-	if n == nil || n.gen != ev.gen || n.index < 0 {
+	if n == nil || n.gen != ev.gen || n.index == -1 {
 		return
 	}
-	e.remove(int(n.index))
+	if n.index < -1 {
+		e.wheel.unlink(n)
+	} else {
+		e.remove(int(n.index))
+	}
 	e.release(n)
 }
 
@@ -161,6 +197,7 @@ func (e *Engine) Cancel(ev Event) {
 // node is recycled before the callback runs, so a callback that
 // schedules a new event typically reuses the slot it fired from.
 func (e *Engine) Step() bool {
+	e.syncWheel()
 	if len(e.heap) == 0 {
 		return false
 	}
@@ -168,6 +205,7 @@ func (e *Engine) Step() bool {
 	e.now = n.at
 	fn, fnArg, arg := n.fn, n.fnArg, n.arg
 	e.release(n)
+	e.fired++
 	if e.hook != nil {
 		e.hook(e.now)
 	}
@@ -179,6 +217,15 @@ func (e *Engine) Step() bool {
 	return true
 }
 
+// peek syncs the wheel and reports the earliest queued deadline.
+func (e *Engine) peek() (Time, bool) {
+	e.syncWheel()
+	if len(e.heap) == 0 {
+		return 0, false
+	}
+	return e.heap[0].at, true
+}
+
 // NextEvent peeks at the earliest queued event without firing it,
 // reporting its fire time and the clock value at which it was
 // scheduled. The conservative parallel scheduler (shard.go) uses the
@@ -187,6 +234,7 @@ func (e *Engine) Step() bool {
 // would produce: among same-instant events, the one scheduled earliest
 // fires first.
 func (e *Engine) NextEvent() (at, schedAt Time, ok bool) {
+	e.syncWheel()
 	if len(e.heap) == 0 {
 		return 0, 0, false
 	}
@@ -203,7 +251,11 @@ func (e *Engine) Run() {
 // RunUntil processes events with timestamps <= t, then advances the
 // clock to exactly t (if it isn't already past it).
 func (e *Engine) RunUntil(t Time) {
-	for len(e.heap) > 0 && e.heap[0].at <= t {
+	for {
+		at, ok := e.peek()
+		if !ok || at > t {
+			break
+		}
 		e.Step()
 	}
 	if e.now < t {
@@ -218,7 +270,7 @@ func (e *Engine) RunUntil(t Time) {
 // events would destroy determinism.
 func (e *Engine) Advance(d Time) {
 	target := e.now + d
-	if len(e.heap) > 0 && e.heap[0].at < target {
+	if at, ok := e.peek(); ok && at < target {
 		panic("sim: Advance would skip a pending event")
 	}
 	e.now = target

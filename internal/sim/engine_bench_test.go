@@ -61,3 +61,70 @@ func BenchmarkEngineScheduleCancel(b *testing.B) {
 		e.Cancel(ev)
 	}
 }
+
+// benchFarTimers drives the bulk-timer regime the wheel exists for: a
+// large standing population of far-future timers (the 60ms RTO
+// pattern at cluster scale), each dispatch re-arming one full window
+// ahead. On the pure heap every operation pays O(log pending); on the
+// wheel the standing population sits in buckets and the heap holds
+// only the near-term flush window, so per-event cost stays flat as
+// pending grows — the Heap/Wheel benchmark pairs at 65536 and 1M
+// pending make the crossover visible in BENCH_sim.json
+// (wheel_speedups).
+func benchFarTimers(b *testing.B, pending int, wheelOn bool) {
+	const window = 12_000_000 // 60ms at 200MHz, the legacy RTO floor
+	e := NewEngine()
+	e.SetWheel(wheelOn)
+	i := 0
+	var tick func(any)
+	tick = func(any) {
+		i++
+		// Full window ahead with deterministic jitter, so slots churn
+		// rather than stacking one bucket.
+		e.AfterArg(Time(window+i*2654435761%9973), tick, nil)
+	}
+	// Spread the standing population uniformly over one window.
+	step := window / Time(pending)
+	if step == 0 {
+		step = 1
+	}
+	for j := 0; j < pending; j++ {
+		e.AtArg(Time(j)*step, tick, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		e.Step()
+	}
+	b.StopTimer()
+	if e.Pending() < pending {
+		b.Fatalf("standing population collapsed: %d < %d", e.Pending(), pending)
+	}
+}
+
+func BenchmarkEngineTimersHeap65536(b *testing.B)  { benchFarTimers(b, 65536, false) }
+func BenchmarkEngineTimersWheel65536(b *testing.B) { benchFarTimers(b, 65536, true) }
+func BenchmarkEngineTimersHeap1M(b *testing.B)     { benchFarTimers(b, 1_000_000, false) }
+func BenchmarkEngineTimersWheel1M(b *testing.B)    { benchFarTimers(b, 1_000_000, true) }
+
+// BenchmarkEngineScheduleCancelWheel is the far-timer re-arm pattern:
+// schedule an RTO-distance event, then cancel it before it fires (the
+// dominant path when transfers complete without loss). O(1) bucket
+// unlink vs the heap's O(log n) remove — and pinned at 0 allocs/op by
+// TestWheelScheduleCancelAllocFree.
+func BenchmarkEngineScheduleCancelWheel(b *testing.B) {
+	e := NewEngine()
+	fn := func(any) {}
+	e.At(1<<60, func() {})
+	// Standing far population so the cancel path works against
+	// realistically occupied buckets.
+	for j := 0; j < 1024; j++ {
+		e.AfterArg(Time(12_000_000+j*9973), fn, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		ev := e.AfterArg(Time(12_000_000+n%9973), fn, nil)
+		e.Cancel(ev)
+	}
+}

@@ -15,15 +15,32 @@ import "sync/atomic"
 // meaningful, absolute values only count cycles since process start.
 var simulatedCycles atomic.Int64
 
+// The global event meter, batched the same way: a process-wide count
+// of events dispatched by every Engine. Harnesses divide its delta by
+// host wall-clock seconds to report simulator throughput as
+// events-per-host-second — the number a scheduling-backend change
+// (heap vs timer wheel) actually moves.
+var dispatchedEvents atomic.Int64
+
 // CyclesSimulated returns the total virtual cycles simulated by all
 // engines in this process so far. Safe to call from any goroutine.
 func CyclesSimulated() Time { return Time(simulatedCycles.Load()) }
 
-// flushMeter publishes the engine's clock progress since the last
-// flush to the global meter.
+// EventsDispatched returns the total events fired by all engines in
+// this process so far. Safe to call from any goroutine; like the cycle
+// meter, only deltas are meaningful.
+func EventsDispatched() int64 { return dispatchedEvents.Load() }
+
+// flushMeter publishes the engine's clock and dispatch progress since
+// the last flush to the global meters.
 func (e *Engine) flushMeter() {
 	if d := e.now - e.metered; d > 0 {
 		simulatedCycles.Add(int64(d))
 		e.metered = e.now
+	}
+	if e.fired > 0 {
+		dispatchedEvents.Add(e.fired)
+		e.flushed += e.fired
+		e.fired = 0
 	}
 }

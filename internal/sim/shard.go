@@ -38,11 +38,24 @@ func satAdd(a, b Time) Time {
 // receiving island at virtual time at. sent is the sender's clock at
 // the hand-over — the scheduling instant, used for the deterministic
 // tie-break among same-instant events exactly as a shared engine's
-// sequence numbers would order them.
+// sequence numbers would order them. A message carries either a plain
+// callback (fn) or an arg-carrying one (argFn+arg, the alloc-free
+// variant mirroring Engine.AtArg).
 type msg struct {
-	at   Time
-	sent Time
-	fn   func()
+	at    Time
+	sent  Time
+	fn    func()
+	argFn func(any)
+	arg   any
+}
+
+// run invokes the message's callback.
+func (m *msg) run() {
+	if m.argFn != nil {
+		m.argFn(m.arg)
+		return
+	}
+	m.fn()
 }
 
 // Channel is a directed, timestamped event conduit between two
@@ -127,6 +140,18 @@ func Connect(from, to *Island, lookahead Time) *Channel {
 // synchronous — the message is in the receiver's queue before Send
 // returns — which is what makes idle-detection exact.
 func (c *Channel) Send(at Time, fn func()) {
+	c.send(msg{at: at, fn: fn})
+}
+
+// SendArg is Send through a pre-bound function and argument — the
+// steady-state hand-off path, which allocates nothing (a closure per
+// crossing otherwise dominates a packet-forwarding fabric's garbage).
+func (c *Channel) SendArg(at Time, fn func(any), arg any) {
+	c.send(msg{at: at, argFn: fn, arg: arg})
+}
+
+func (c *Channel) send(m msg) {
+	at := m.at
 	now := c.from.eng.Now()
 	if at <= satAdd(now, c.lookahead) {
 		panic("sim: Channel.Send violates the lookahead contract")
@@ -139,7 +164,8 @@ func (c *Channel) Send(at Time, fn func()) {
 			panic("sim: Channel.Send timestamps must strictly increase")
 		}
 	}
-	c.push(msg{at: at, sent: now, fn: fn})
+	m.sent = now
+	c.push(m)
 	if c.promise < now {
 		c.promise = now
 	}
@@ -172,7 +198,7 @@ func (c *Channel) push(m msg) {
 // pop removes the head message. Caller holds to.mu.
 func (c *Channel) pop() msg {
 	m := c.q[c.head]
-	c.q[c.head].fn = nil
+	c.q[c.head] = msg{}
 	c.head = (c.head + 1) % len(c.q)
 	c.count--
 	return m
@@ -336,7 +362,7 @@ func (isl *Island) runLoop() {
 					isl.eng.Advance(m.at - now)
 				}
 				st.processed.Add(1)
-				m.fn()
+				m.run()
 				isl.publish(isl.eng.Now(), false)
 			}
 			continue

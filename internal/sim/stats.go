@@ -87,6 +87,7 @@ const (
 	CtrChecksums     = "checksum_bytes" // bytes checksummed by CPU
 	CtrRetransmits   = "retransmits"    // TCP retransmissions
 	CtrUpcalls       = "upcalls"        // kernel->env upcalls
+	CtrEngineEvents  = "engine_events"  // event-queue dispatches (EventsDispatched delta)
 	CtrRegistryOps   = "registry_ops"   // buffer-registry operations
 	CtrTaintedBlocks = "tainted_blocks" // blocks ever marked tainted
 )

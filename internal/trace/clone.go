@@ -12,12 +12,16 @@ func (t *Tracer) Clone() *Tracer {
 		return nil
 	}
 	cp := &Tracer{
-		events:     append([]event(nil), t.events...),
-		dropped:    t.dropped,
-		procs:      append([]string(nil), t.procs...),
-		laneNames:  make(map[laneKey]string, len(t.laneNames)),
-		hists:      make(map[string]*Histogram, len(t.hists)),
-		histOrder:  append([]string(nil), t.histOrder...),
+		events:    append([]event(nil), t.events...),
+		dropped:   t.dropped,
+		histOnly:  t.histOnly,
+		procs:     append([]string(nil), t.procs...),
+		laneNames: make(map[laneKey]string, len(t.laneNames)),
+		hists:     make(map[string]*Histogram, len(t.hists)),
+		histOrder: append([]string(nil), t.histOrder...),
+		// hcache must point at the clone's own histograms; it refills
+		// lazily on the clone's first observes.
+		hcache:     make(map[histKey]*Histogram),
 		counts:     make(map[string]int64, len(t.counts)),
 		countOrder: append([]string(nil), t.countOrder...),
 	}

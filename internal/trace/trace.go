@@ -84,11 +84,20 @@ type Tracer struct {
 	events  []event
 	dropped int64
 
+	// histOnly tracers (NewHistOnly) drop span/instant events and keep
+	// only histograms and counters — the cheap mode for quantile
+	// collection at connection scale, where recording (and rendering
+	// args for) millions of spans would dominate the run.
+	histOnly bool
+
 	procs     []string // index = pid
 	laneNames map[laneKey]string
 
 	hists     map[string]*Histogram
 	histOrder []string
+	// hcache short-circuits Observe's "<process>/<name>" key build —
+	// the per-sample string concatenation is the hot path's allocation.
+	hcache map[histKey]*Histogram
 
 	counts     map[string]int64
 	countOrder []string
@@ -99,6 +108,11 @@ type laneKey struct {
 	tid int64
 }
 
+type histKey struct {
+	pid  int64
+	name string
+}
+
 // New returns an empty, enabled tracer. PID 0 is pre-registered as
 // "sim" for subsystems used standalone (e.g. a bare disk in a test).
 func New() *Tracer {
@@ -106,9 +120,25 @@ func New() *Tracer {
 		procs:     []string{"sim"},
 		laneNames: make(map[laneKey]string),
 		hists:     make(map[string]*Histogram),
+		hcache:    make(map[histKey]*Histogram),
 		counts:    make(map[string]int64),
 	}
 }
+
+// NewHistOnly returns a tracer that collects histograms and counters
+// but ignores span/instant events (EventsEnabled reports false, so
+// emitters skip building args). Digest, Hist, Observe, Count and the
+// histogram report all work as usual over what it does record.
+func NewHistOnly() *Tracer {
+	t := New()
+	t.histOnly = true
+	return t
+}
+
+// EventsEnabled reports whether span/instant records are kept — the
+// guard to check before doing work (string rendering, lane setup) only
+// a full event trace consumes.
+func (t *Tracer) EventsEnabled() bool { return t != nil && !t.histOnly }
 
 // Merge appends src's record into t, deterministically. src's
 // processes (past the shared pid-0 "sim" entry) are re-registered
@@ -206,6 +236,9 @@ func (t *Tracer) Instant(pid, tid int64, cat, name string, at sim.Time, args ...
 }
 
 func (t *Tracer) record(ev event) {
+	if t.histOnly {
+		return
+	}
 	if len(t.events) >= MaxEvents {
 		t.dropped++
 		return
@@ -220,12 +253,17 @@ func (t *Tracer) Observe(pid int64, name string, d sim.Time) {
 	if t == nil {
 		return
 	}
-	key := t.procName(pid) + "/" + name
-	h, ok := t.hists[key]
+	ck := histKey{pid: pid, name: name}
+	h, ok := t.hcache[ck]
 	if !ok {
-		h = newHistogram(key)
-		t.hists[key] = h
-		t.histOrder = append(t.histOrder, key)
+		key := t.procName(pid) + "/" + name
+		h, ok = t.hists[key]
+		if !ok {
+			h = newHistogram(key)
+			t.hists[key] = h
+			t.histOrder = append(t.histOrder, key)
+		}
+		t.hcache[ck] = h
 	}
 	h.Observe(d)
 }

@@ -48,8 +48,22 @@ type ClusterConfig struct {
 	// Shard > 0 partitions the fabric into min(Shard, Servers) server
 	// islands plus the client/balancer island and runs them on
 	// concurrent workers (conservative parallel simulation over the
-	// link latencies). Results are byte-identical to Shard == 0.
+	// link latencies). Results are deterministic at every shard count
+	// and byte-identical to Shard == 0 at the standard scales (pinned
+	// through 60k connections). Past that, same-cycle event collisions
+	// across islands become statistically certain, and the merge's
+	// island-id tie-break can order them differently than the single
+	// engine's global sequence numbers (whose order is genealogical —
+	// no scalar key a cross-island message could carry reproduces it).
+	// Sharded runs remain exactly reproducible and agree with each
+	// other at every shard count >= 2; only the sub-cycle tie order
+	// against Shard == 0 may move.
 	Shard int
+	// NoWheel disables the engines' timer-wheel scheduling backend and
+	// runs the cell on the pure binary-heap baseline. Results are
+	// bit-identical either way — the wheel-vs-heap digest test pins
+	// exactly that — so the knob only moves host time.
+	NoWheel bool
 }
 
 func (cfg ClusterConfig) withDefaults() ClusterConfig {
@@ -114,6 +128,13 @@ type ClusterResult struct {
 	Retransmits int64
 	Drops       int64
 
+	// EngineEvents sums the cell's island engines' dispatched-event
+	// counts (sim.CtrEngineEvents; the denominator-free half of the
+	// events-per-host-second throughput metric). Deterministic for a
+	// given shard count, but sharded runs add channel-sync events, so
+	// it is excluded from the report and the digest.
+	EngineEvents int64
+
 	// Digest fingerprints the cell's latency series (and, when the
 	// cell was traced, everything else on the tracer): identical
 	// runs produce identical digests at any -parallel setting.
@@ -172,18 +193,28 @@ func stageClusterDocs(m machine.Machine, classes []netsim.RequestClass) error {
 }
 
 // clusterHandler serves the staged document for the connection's
-// request class: parse, lookup, read into a user buffer.
+// request class: parse, lookup, read into a user buffer. The document
+// paths and the read buffer are hoisted out of the per-request path —
+// at 100k connections a fresh path string and buffer per request is
+// real host-side garbage (the simulated costs are identical either
+// way: Use/ReadAt charges don't depend on buffer identity).
 func clusterHandler(fs *cffs.FS, classes []netsim.RequestClass) netsim.Handler {
+	paths := make([]string, len(classes))
+	for i, cl := range classes {
+		paths[i] = "/docs/" + cl.Name
+	}
+	var buf []byte
 	return func(e *kernel.Env, c *netsim.Conn) int {
 		e.Use(30 * sim.Microsecond) // parse request, build header
-		cl := classes[c.Class()]
-		ref, in, err := fs.Lookup(e, "/docs/"+cl.Name)
+		ref, in, err := fs.Lookup(e, paths[c.Class()])
 		if err != nil {
 			return 0
 		}
-		if in.Size > 0 {
-			buf := make([]byte, in.Size)
-			if _, err := fs.ReadAt(e, ref, 0, buf); err != nil {
+		if n := int(in.Size); n > 0 {
+			if len(buf) < n {
+				buf = make([]byte, n)
+			}
+			if _, err := fs.ReadAt(e, ref, 0, buf[:n]); err != nil {
 				return 0
 			}
 		}
@@ -218,6 +249,9 @@ func Cluster(cfg ClusterConfig) (ClusterResult, error) {
 	}
 
 	topo := netsim.NewTopology()
+	if cfg.NoWheel {
+		topo.SetWheel(false)
+	}
 	clients := topo.AddHost("clients")
 	lb := topo.LoadBalancer(cfg.Policy)
 	// Fat front link: the client aggregate must not be the bottleneck
@@ -226,10 +260,11 @@ func Cluster(cfg ClusterConfig) (ClusterResult, error) {
 
 	// The latency sink: the cell's tracer when the caller wants full
 	// tracing, else a private histogram-only tracer so quantiles and
-	// the digest exist either way.
+	// the digest exist either way (span recording off — at connection
+	// scale the span buffer would dominate the untraced run).
 	latTr := cfg.Trace
 	if latTr == nil {
-		latTr = trace.New()
+		latTr = trace.NewHistOnly()
 	}
 	pid := latTr.AddProcess(fmt.Sprintf("cluster-%d-%s", cfg.Servers, cfg.Policy))
 
@@ -330,13 +365,30 @@ func Cluster(cfg ClusterConfig) (ClusterResult, error) {
 	for _, m := range machines {
 		res.Retransmits += m.Stats().Get(sim.CtrRetransmits)
 	}
+	for i := 0; i < topo.Islands(); i++ {
+		res.EngineEvents += topo.IslandEngine(netsim.IslandID(i)).Dispatched()
+	}
+	if len(machines) > 0 {
+		machines[0].Stats().Add(sim.CtrEngineEvents, res.EngineEvents)
+	}
 	res.Digest = latTr.Digest()
 	return res, nil
 }
 
+// baselineCellCeiling is the largest connection count at which the
+// sweep still runs its 1-server baseline cell. A single server
+// sustains ~1.2k req/s at the standard mix, so past this scale the
+// baseline is pure overload backlog — every arrival queues behind
+// ~all the others, armed RTOs churn retransmissions, and the cell
+// measures nothing but its own congestion while dominating the
+// sweep's wall-clock. The cluster cells stay meaningful at any size.
+const baselineCellCeiling = 20000
+
 // ClusterCells is the standard sweep at a fixed offered load: one
 // server as the baseline, then the full cluster under both balancing
-// policies.
+// policies. Beyond baselineCellCeiling connections the baseline cell
+// is omitted (see above); pass servers=1 to force a single-server
+// run at any scale.
 func ClusterCells(servers, conns int, rate float64) []ClusterConfig {
 	base := ClusterConfig{Servers: 1, Conns: conns, Rate: rate, Policy: netsim.RoundRobin}
 	if servers <= 1 {
@@ -348,6 +400,9 @@ func ClusterCells(servers, conns int, rate float64) []ClusterConfig {
 	rr.Servers = servers
 	lc := rr
 	lc.Policy = netsim.LeastConnections
+	if conns > baselineCellCeiling {
+		return []ClusterConfig{rr, lc}
+	}
 	return []ClusterConfig{base, rr, lc}
 }
 

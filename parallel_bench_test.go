@@ -6,6 +6,7 @@ import (
 	"xok/internal/core"
 	"xok/internal/difftest"
 	"xok/internal/fault"
+	"xok/internal/netsim"
 	"xok/internal/workload"
 )
 
@@ -86,3 +87,34 @@ func benchCluster(b *testing.B, workers, shard int) {
 func BenchmarkClusterSerial(b *testing.B)    { benchCluster(b, 1, 0) }
 func BenchmarkClusterParallel4(b *testing.B) { benchCluster(b, 4, 0) }
 func BenchmarkClusterShard4(b *testing.B)    { benchCluster(b, 1, 4) }
+
+// BenchmarkClusterConns100k is the connection-scale cell the timer
+// wheel and the netsim allocation pass exist for: one 4-server cell
+// under 100k open-loop arrivals, offered just below the aggregate
+// service capacity so the backlog stays bounded (no 1-server baseline
+// — a single server would backlog ~all arrivals and the cell would
+// measure RTO thrash, not serving). Reports events-per-host-second,
+// the simulator-throughput number the scheduling backend moves.
+func benchCluster100k(b *testing.B, noWheel bool) {
+	b.ReportAllocs()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		res, err := workload.Cluster(workload.ClusterConfig{
+			Servers: 4, Conns: 100_000, Rate: 4000,
+			Policy: netsim.LeastConnections, NoWheel: noWheel,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Completed != res.Conns {
+			b.Fatalf("%d/%d connections completed", res.Completed, res.Conns)
+		}
+		events += res.EngineEvents
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(events)/secs, "events/s")
+	}
+}
+
+func BenchmarkClusterConns100k(b *testing.B)        { benchCluster100k(b, false) }
+func BenchmarkClusterConns100kNoWheel(b *testing.B) { benchCluster100k(b, true) }
